@@ -1,0 +1,93 @@
+// Benchmarks regenerating each figure of the paper's evaluation at reduced
+// scale: one benchmark per figure, with one sub-benchmark per engine at the
+// figure's most characteristic sweep point, measuring seconds per
+// monitoring timestamp (the paper's metric).
+//
+// The full parameter sweeps behind the figures are produced by
+// cmd/benchrunner; these benchmarks exist so `go test -bench .` exercises
+// every experiment configuration and gives comparable per-step numbers.
+package roadknn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"roadknn"
+	"roadknn/internal/experiments"
+	"roadknn/internal/workload"
+)
+
+// benchScale keeps a full `go test -bench .` run in the minutes range;
+// increase it (or use cmd/benchrunner) for production-scale measurements.
+const benchScale = 0.1
+
+// benchTimestamps is how many simulation steps each op measures.
+const benchTimestamps = 1
+
+func benchmarkExperimentPoint(b *testing.B, expID string, pointIdx int) {
+	exps := experiments.All(benchScale, benchTimestamps, 1)
+	e := experiments.ByID(exps, expID)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", expID)
+	}
+	if pointIdx >= len(e.Points) {
+		b.Fatalf("%s has no point %d", expID, pointIdx)
+	}
+	p := e.Points[pointIdx]
+	for _, engName := range e.Engines {
+		mk := experiments.Engines()[engName]
+		b.Run(engName, func(b *testing.B) {
+			r, _ := workload.NewRunner(p.Cfg, mk)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Engine().Step(r.GenerateStep())
+			}
+			if e.Metric == experiments.Mem {
+				b.ReportMetric(float64(r.Engine().SizeBytes())/1024, "KB")
+			}
+		})
+	}
+}
+
+// Each BenchmarkFigNN regenerates the corresponding figure's default point.
+// Point indices pick the paper's default parameter value within the sweep
+// (e.g. N=100K is index 2 of Figure 13a's sweep).
+
+func BenchmarkFig13aObjectCardinality(b *testing.B) { benchmarkExperimentPoint(b, "f13a", 2) }
+func BenchmarkFig13bQueryCardinality(b *testing.B)  { benchmarkExperimentPoint(b, "f13b", 2) }
+func BenchmarkFig14aK(b *testing.B)                 { benchmarkExperimentPoint(b, "f14a", 2) }
+func BenchmarkFig14bEdgeAgility(b *testing.B)       { benchmarkExperimentPoint(b, "f14b", 2) }
+func BenchmarkFig15aObjectAgility(b *testing.B)     { benchmarkExperimentPoint(b, "f15a", 2) }
+func BenchmarkFig15bObjectSpeed(b *testing.B)       { benchmarkExperimentPoint(b, "f15b", 2) }
+func BenchmarkFig16aQueryAgility(b *testing.B)      { benchmarkExperimentPoint(b, "f16a", 2) }
+func BenchmarkFig16bQuerySpeed(b *testing.B)        { benchmarkExperimentPoint(b, "f16b", 2) }
+func BenchmarkFig17aDistributions(b *testing.B)     { benchmarkExperimentPoint(b, "f17a", 1) }
+func BenchmarkFig17bNetworkSize(b *testing.B)       { benchmarkExperimentPoint(b, "f17b", 2) }
+func BenchmarkFig18aMemoryVsQ(b *testing.B)         { benchmarkExperimentPoint(b, "f18a", 2) }
+func BenchmarkFig18bMemoryVsK(b *testing.B)         { benchmarkExperimentPoint(b, "f18b", 2) }
+func BenchmarkFig19aBrinkhoffQ(b *testing.B)        { benchmarkExperimentPoint(b, "f19a", 3) }
+func BenchmarkFig19bBrinkhoffK(b *testing.B)        { benchmarkExperimentPoint(b, "f19b", 2) }
+
+// Ablations (DESIGN.md §7): influence-list filtering and the bounded
+// in-sequence walk.
+func BenchmarkAblationInfluenceFiltering(b *testing.B) { benchmarkExperimentPoint(b, "abl-il", 1) }
+func BenchmarkAblationBoundedWalk(b *testing.B)        { benchmarkExperimentPoint(b, "abl-seq", 1) }
+
+// BenchmarkInitialComputation measures the Figure-2 from-scratch search
+// (initial result computation) per query, across k values.
+func BenchmarkInitialComputation(b *testing.B) {
+	for _, k := range []int{1, 10, 50, 200} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := workload.Default().Scale(benchScale)
+			cfg.K = k
+			cfg.NumQueries = 1 // registration cost is measured separately below
+			r, _ := workload.NewRunner(cfg, experiments.Engines()["OVH"])
+			eng := r.Engine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Step with no updates recomputes every query from scratch.
+				eng.Step(roadknn.Updates{})
+			}
+		})
+	}
+}

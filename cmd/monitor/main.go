@@ -1,0 +1,217 @@
+// Command monitor runs a continuous k-NN monitoring server over a network
+// file (produced by cmd/netgen) and replays a line-based update stream from
+// stdin, printing result changes — a minimal, scriptable frontend to the
+// library.
+//
+// Usage:
+//
+//	netgen -edges 1000 -o net.json
+//	monitor -net net.json -engine gma < updates.txt
+//
+// Stream protocol (whitespace-separated, one command per line, '#'
+// comments):
+//
+//	obj <id> <edge> <frac>        # insert or move object
+//	del <id>                      # remove object
+//	qry <id> <k> <edge> <frac>    # install or move query (k ignored on move)
+//	end <id>                      # terminate query
+//	w   <edge> <weight>           # set edge weight
+//	tick                          # end of timestamp: apply batch, report
+//
+// Results are reported after every tick for queries whose k-NN set changed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"roadknn"
+)
+
+func main() {
+	var (
+		netFile = flag.String("net", "", "network JSON file (required)")
+		engine  = flag.String("engine", "ima", "monitoring engine: ovh, ima or gma")
+	)
+	flag.Parse()
+	if *netFile == "" {
+		fmt.Fprintln(os.Stderr, "monitor: -net is required")
+		os.Exit(1)
+	}
+	net, err := loadNetwork(*netFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+		os.Exit(1)
+	}
+	var srv roadknn.Engine
+	switch strings.ToLower(*engine) {
+	case "ovh":
+		srv = roadknn.NewOVH(net)
+	case "ima":
+		srv = roadknn.NewIMA(net)
+	case "gma":
+		srv = roadknn.NewGMA(net)
+	default:
+		fmt.Fprintf(os.Stderr, "monitor: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+
+	if err := replay(srv, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// replay consumes the update stream, batching commands between ticks.
+func replay(srv roadknn.Engine, in *os.File, out *os.File) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	known := map[roadknn.ObjectID]roadknn.Position{}
+	prev := map[roadknn.QueryID]string{}
+	var pending roadknn.Updates
+	ts := 0
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(msg string) error { return fmt.Errorf("line %d: %s: %q", lineNo, msg, line) }
+		switch f[0] {
+		case "obj":
+			if len(f) != 4 {
+				return fail("obj wants: obj <id> <edge> <frac>")
+			}
+			id := roadknn.ObjectID(atoi(f[1]))
+			pos := roadknn.Position{Edge: roadknn.EdgeID(atoi(f[2])), Frac: atof(f[3])}
+			if old, ok := known[id]; ok {
+				pending.Objects = append(pending.Objects, roadknn.ObjectUpdate{ID: id, Old: old, New: pos})
+			} else {
+				pending.Objects = append(pending.Objects, roadknn.ObjectUpdate{ID: id, New: pos, Insert: true})
+			}
+			known[id] = pos
+		case "del":
+			if len(f) != 2 {
+				return fail("del wants: del <id>")
+			}
+			id := roadknn.ObjectID(atoi(f[1]))
+			old, ok := known[id]
+			if !ok {
+				return fail("unknown object")
+			}
+			delete(known, id)
+			pending.Objects = append(pending.Objects, roadknn.ObjectUpdate{ID: id, Old: old, Delete: true})
+		case "qry":
+			if len(f) != 5 {
+				return fail("qry wants: qry <id> <k> <edge> <frac>")
+			}
+			id := roadknn.QueryID(atoi(f[1]))
+			pos := roadknn.Position{Edge: roadknn.EdgeID(atoi(f[3])), Frac: atof(f[4])}
+			if _, exists := prev[id]; exists {
+				pending.Queries = append(pending.Queries, roadknn.QueryUpdate{ID: id, New: pos})
+			} else {
+				pending.Queries = append(pending.Queries, roadknn.QueryUpdate{
+					ID: id, New: pos, K: atoi(f[2]), Insert: true,
+				})
+				prev[id] = ""
+			}
+		case "end":
+			if len(f) != 2 {
+				return fail("end wants: end <id>")
+			}
+			id := roadknn.QueryID(atoi(f[1]))
+			pending.Queries = append(pending.Queries, roadknn.QueryUpdate{ID: id, Delete: true})
+			delete(prev, id)
+		case "w":
+			if len(f) != 3 {
+				return fail("w wants: w <edge> <weight>")
+			}
+			pending.Edges = append(pending.Edges, roadknn.EdgeUpdate{
+				Edge: roadknn.EdgeID(atoi(f[1])), NewW: atof(f[2]),
+			})
+		case "tick":
+			ts++
+			srv.Step(pending)
+			pending = roadknn.Updates{}
+			for id := range prev {
+				cur := fmt.Sprint(srv.Result(id))
+				if cur != prev[id] {
+					fmt.Fprintf(out, "ts %d query %d -> %s\n", ts, id, formatResult(srv.Result(id)))
+					prev[id] = cur
+				}
+			}
+		default:
+			return fail("unknown command")
+		}
+	}
+	return sc.Err()
+}
+
+func formatResult(res []roadknn.Neighbor) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, nb := range res {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d@%.3f", nb.Obj, nb.Dist)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func atoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monitor: bad integer %q\n", s)
+		os.Exit(1)
+	}
+	return v
+}
+
+func atof(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monitor: bad number %q\n", s)
+		os.Exit(1)
+	}
+	return v
+}
+
+// loadNetwork reads the JSON format written by cmd/netgen.
+func loadNetwork(path string) (*roadknn.Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff struct {
+		Nodes []struct{ X, Y float64 } `json:"nodes"`
+		Edges []struct {
+			U, V int32
+			W    float64
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	b := roadknn.NewNetworkBuilder()
+	for _, n := range ff.Nodes {
+		b.AddNode(n.X, n.Y)
+	}
+	for i, e := range ff.Edges {
+		if e.W <= 0 {
+			return nil, fmt.Errorf("edge %d has non-positive weight", i)
+		}
+		b.AddEdge(roadknn.NodeID(e.U), roadknn.NodeID(e.V), e.W)
+	}
+	return b.Build(), nil
+}

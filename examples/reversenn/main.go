@@ -1,0 +1,82 @@
+// Reverse nearest neighbors: the CRNN scenario sketched in the paper's
+// conclusions (§7). Each vacant cab continuously sees the clients that are
+// closer to it than to any other cab — its "catchment". As cabs cruise and
+// traffic shifts, catchments rebalance.
+//
+// Run with:
+//
+//	go run ./examples/reversenn
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"roadknn"
+)
+
+func main() {
+	net := roadknn.GenerateNetwork(1500, 314)
+	rng := rand.New(rand.NewSource(1))
+
+	const cabs, clients, timestamps = 6, 80, 10
+
+	for i := 0; i < clients; i++ {
+		net.AddObject(roadknn.ObjectID(i), net.UniformPosition(rng))
+	}
+	mon := roadknn.NewReverseMonitor(net)
+	cabPos := make([]roadknn.Position, cabs)
+	for i := range cabPos {
+		cabPos[i] = net.UniformPosition(rng)
+		mon.Register(roadknn.ReverseQueryID(i), cabPos[i])
+	}
+	mon.Refresh()
+	printCatchments(mon, cabs, "initial catchments")
+
+	for ts := 1; ts <= timestamps; ts++ {
+		var u roadknn.ReverseUpdates
+		// Cabs cruise.
+		for i := range cabPos {
+			np := net.RandomWalk(cabPos[i], 2*net.AvgEdgeLength(), 0, rng)
+			cabPos[i] = np
+			u.Queries = append(u.Queries, roadknn.ReverseQueryUpdate{
+				ID: roadknn.ReverseQueryID(i), New: np,
+			})
+		}
+		// Some clients wander.
+		for i := 0; i < clients; i++ {
+			if rng.Float64() < 0.25 {
+				id := roadknn.ObjectID(i)
+				old, _ := net.ObjectPos(id)
+				u.Objects = append(u.Objects, roadknn.ReverseObjectUpdate{
+					ID: id, Old: old, New: net.RandomWalk(old, net.AvgEdgeLength(), 0, rng),
+				})
+			}
+		}
+		// Traffic fluctuates.
+		for i := 0; i < 30; i++ {
+			eid := roadknn.EdgeID(rng.Intn(net.G.NumEdges()))
+			w := net.G.Edge(eid).W * (0.9 + 0.2*rng.Float64())
+			u.Edges = append(u.Edges, roadknn.ReverseEdgeUpdate{Edge: eid, NewW: w})
+		}
+		mon.Step(u)
+	}
+	printCatchments(mon, cabs, fmt.Sprintf("after %d timestamps", timestamps))
+}
+
+func printCatchments(mon *roadknn.ReverseMonitor, cabs int, label string) {
+	fmt.Println(label + ":")
+	sizes := make([]int, cabs)
+	total := 0
+	for i := 0; i < cabs; i++ {
+		n := len(mon.ReverseNN(roadknn.ReverseQueryID(i)))
+		sizes[i] = n
+		total += n
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	for i, n := range sizes {
+		fmt.Printf("  cab rank %d: %2d clients\n", i+1, n)
+	}
+	fmt.Printf("  (%d clients assigned in total)\n", total)
+}

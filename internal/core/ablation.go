@@ -1,0 +1,48 @@
+package core
+
+import (
+	"roadknn/internal/roadnet"
+)
+
+// This file contains ablation variants of the two engines, used by the
+// ablation benchmarks to quantify the design choices DESIGN.md calls out.
+// They are correct engines — only slower — so the correctness suite runs
+// them too.
+
+// IMAUnfiltered is IMA with influence-list filtering disabled: every
+// update is processed against every query (the tree reuse machinery is
+// kept). It quantifies how much of IMA's advantage comes from ignoring
+// irrelevant updates (§4.2's central claim).
+type IMAUnfiltered struct {
+	IMA
+}
+
+// NewIMAUnfiltered creates the ablation engine over net.
+func NewIMAUnfiltered(net *roadnet.Network) *IMAUnfiltered {
+	e := &IMAUnfiltered{}
+	e.set = newMonitorSet(net, false)
+	e.set.unfiltered = true
+	return e
+}
+
+// Name implements Engine.
+func (e *IMAUnfiltered) Name() string { return "IMA-NF" }
+
+// GMANaive is GMA with the bounded in-sequence expansion replaced by the
+// naive application of Lemma 1: every evaluation scans all objects in the
+// whole sequence and merges both endpoint NN sets unconditionally. The
+// paper's §5 argues this "can be very expensive, because a sequence may
+// contain numerous edges and objects".
+type GMANaive struct {
+	GMA
+}
+
+// NewGMANaive creates the ablation engine over net.
+func NewGMANaive(net *roadnet.Network) *GMANaive {
+	inner := NewGMA(net)
+	inner.naiveEval = true
+	return &GMANaive{GMA: *inner}
+}
+
+// Name implements Engine.
+func (e *GMANaive) Name() string { return "GMA-naive" }

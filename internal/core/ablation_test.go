@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadknn/internal/gen"
+	"roadknn/internal/roadnet"
+)
+
+// TestAblationEnginesAreCorrect runs the ablation variants through a short
+// randomized simulation against the oracle: they must be exactly as
+// correct as the real engines (only slower).
+func TestAblationEnginesAreCorrect(t *testing.T) {
+	build := func() *roadnet.Network {
+		return roadnet.NewNetwork(gen.SanFranciscoLike(80, 55))
+	}
+	w := &lockstepWorld{
+		t:   t,
+		rng: rand.New(rand.NewSource(55)),
+		engines: []Engine{
+			NewIMAUnfiltered(build()), NewGMANaive(build()), NewOVH(build()),
+		},
+		world:  build(),
+		objPos: map[roadnet.ObjectID]roadnet.Position{},
+		qPos:   map[QueryID]roadnet.Position{},
+		qK:     map[QueryID]int{},
+	}
+	for i := 0; i < 25; i++ {
+		id := roadnet.ObjectID(i)
+		pos := w.world.UniformPosition(w.rng)
+		w.objPos[id] = pos
+		w.world.AddObject(id, pos)
+		for _, e := range w.engines {
+			e.Network().AddObject(id, pos)
+		}
+	}
+	w.nextObj = 25
+	for i := 0; i < 6; i++ {
+		id := QueryID(i)
+		pos := w.world.UniformPosition(w.rng)
+		w.qPos[id] = pos
+		w.qK[id] = 1 + i%4
+		for _, e := range w.engines {
+			e.Register(id, pos, w.qK[id])
+		}
+	}
+	w.verify("initial")
+	for ts := 1; ts <= 15; ts++ {
+		w.step(ts, 0.3, 0.3, 0.1)
+	}
+}
+
+func TestAblationNames(t *testing.T) {
+	net := roadnet.NewNetwork(gen.SanFranciscoLike(50, 1))
+	if got := NewIMAUnfiltered(net).Name(); got != "IMA-NF" {
+		t.Fatalf("Name = %q", got)
+	}
+	net2 := roadnet.NewNetwork(gen.SanFranciscoLike(50, 1))
+	if got := NewGMANaive(net2).Name(); got != "GMA-naive" {
+		t.Fatalf("Name = %q", got)
+	}
+}

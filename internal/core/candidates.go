@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"roadknn/internal/roadnet"
+)
+
+// candEntry is one candidate: the object, its network distance from the
+// query, and its cached position. The cache lets re-derivation loops skip
+// the object-registry lookup: a candidate's position can only go stale by
+// the object moving, and moving objects always appear in the touched list
+// (their old location lies inside the query's influence region), which
+// refreshes the cache.
+type candEntry struct {
+	obj  roadnet.ObjectID
+	dist float64
+	pos  roadnet.Position
+}
+
+// candidateSet accumulates k-NN candidates during an expansion, de-duplicating
+// by object id and keeping the minimum distance per object (paper §4.1:
+// an object may be reached from both endpoints of a non-tree edge).
+//
+// kth() — the distance of the k-th best candidate, +Inf while fewer than k
+// are known — is the expansion's moving stop bound (q.kNN_dist). It is
+// consulted after every candidate offer and every heap pop, so it is
+// maintained incrementally: `best` holds the min(k, len(items)) smallest
+// distances in sorted order, updated by binary insertion on the hot add
+// path and rebuilt lazily after bulk mutations.
+type candidateSet struct {
+	k      int
+	items  []candEntry
+	index  map[roadnet.ObjectID]int32 // obj -> position in items
+	best   []float64                  // sorted k smallest dists; valid iff !dirty
+	dirty  bool
+	result []Neighbor // buffer refilled by finalize
+}
+
+func newCandidateSet(k int) *candidateSet {
+	return &candidateSet{
+		k:     k,
+		index: make(map[roadnet.ObjectID]int32, k+8),
+	}
+}
+
+// reset clears the set, retaining capacity, and re-targets it to k.
+func (c *candidateSet) reset(k int) {
+	c.k = k
+	c.items = c.items[:0]
+	c.best = c.best[:0]
+	c.dirty = false
+	clear(c.index)
+}
+
+// kth returns the current k-th smallest distance (+Inf with fewer than k
+// candidates).
+func (c *candidateSet) kth() float64 {
+	if c.dirty {
+		c.rebuildBest()
+	}
+	if len(c.items) < c.k {
+		return math.Inf(1)
+	}
+	return c.best[c.k-1]
+}
+
+func (c *candidateSet) rebuildBest() {
+	ds := c.best[:0]
+	for i := range c.items {
+		ds = append(ds, c.items[i].dist)
+	}
+	sort.Float64s(ds)
+	if len(ds) > c.k {
+		ds = ds[:c.k]
+	}
+	c.best = ds
+	c.dirty = false
+}
+
+// bestInsert adds d to the sorted best slice, keeping at most k entries.
+func (c *candidateSet) bestInsert(d float64) {
+	i := sort.SearchFloat64s(c.best, d)
+	if i >= c.k {
+		return
+	}
+	c.best = append(c.best, 0)
+	copy(c.best[i+1:], c.best[i:])
+	c.best[i] = d
+	if len(c.best) > c.k {
+		c.best = c.best[:c.k]
+	}
+}
+
+// bestRemove removes one occurrence of d from best if present.
+func (c *candidateSet) bestRemove(d float64) {
+	i := sort.SearchFloat64s(c.best, d)
+	if i < len(c.best) && c.best[i] == d {
+		c.best = append(c.best[:i], c.best[i+1:]...)
+	}
+}
+
+// add offers object obj at distance d and position pos, keeping the
+// minimum distance per object. It reports whether the set changed.
+func (c *candidateSet) add(obj roadnet.ObjectID, d float64, pos roadnet.Position) bool {
+	if i, ok := c.index[obj]; ok {
+		cur := c.items[i].dist
+		if d >= cur {
+			return false
+		}
+		c.items[i].dist = d
+		c.items[i].pos = pos
+		if !c.dirty {
+			c.bestRemove(cur)
+			c.bestInsert(d)
+			if len(c.items) >= c.k && len(c.best) < c.k {
+				c.dirty = true
+			}
+		}
+		return true
+	}
+	if d > c.kth() { // cannot enter the top k; skip to bound memory
+		return false
+	}
+	c.index[obj] = int32(len(c.items))
+	c.items = append(c.items, candEntry{obj: obj, dist: d, pos: pos})
+	if !c.dirty {
+		c.bestInsert(d)
+	}
+	return true
+}
+
+// setExact overwrites the entry of obj regardless of the previous distance
+// (used when stale entries are re-derived from fresh positions). obj need
+// not be present yet.
+func (c *candidateSet) setExact(obj roadnet.ObjectID, d float64, pos roadnet.Position) {
+	if i, ok := c.index[obj]; ok {
+		c.items[i].pos = pos
+		cur := c.items[i].dist
+		if cur == d {
+			return
+		}
+		c.items[i].dist = d
+		c.updateBest(cur, d)
+		return
+	}
+	c.index[obj] = int32(len(c.items))
+	c.items = append(c.items, candEntry{obj: obj, dist: d, pos: pos})
+	if !c.dirty && len(c.items) <= c.k {
+		c.bestInsert(d)
+	} else {
+		c.dirty = true
+	}
+}
+
+// updateBest swaps a distance value in best, or marks the bound dirty when
+// best no longer covers all items.
+func (c *candidateSet) updateBest(old, new float64) {
+	if c.dirty {
+		return
+	}
+	if len(c.items) <= c.k {
+		c.bestRemove(old)
+		c.bestInsert(new)
+		return
+	}
+	c.dirty = true
+}
+
+// setDistAt overwrites the distance of the entry at index i (used by bulk
+// re-derivation loops that iterate items directly).
+func (c *candidateSet) setDistAt(i int, d float64) {
+	cur := c.items[i].dist
+	if cur == d {
+		return
+	}
+	c.items[i].dist = d
+	c.updateBest(cur, d)
+}
+
+// remove deletes obj from the set if present.
+func (c *candidateSet) remove(obj roadnet.ObjectID) {
+	i, ok := c.index[obj]
+	if !ok {
+		return
+	}
+	c.removeAt(int(i))
+}
+
+// removeAt deletes the entry at index i.
+func (c *candidateSet) removeAt(i int) {
+	old := c.items[i].dist
+	obj := c.items[i].obj
+	last := len(c.items) - 1
+	c.items[i] = c.items[last]
+	c.index[c.items[i].obj] = int32(i)
+	c.items = c.items[:last]
+	delete(c.index, obj)
+	if !c.dirty && len(c.items) < c.k {
+		c.bestRemove(old)
+	} else {
+		c.dirty = true
+	}
+}
+
+// finalize sorts the candidates, trims them to the best k (ties broken by
+// object id for determinism) and returns the result slice, which remains
+// owned by the set and is valid until the next finalize.
+func (c *candidateSet) finalize() []Neighbor {
+	slices.SortFunc(c.items, func(a, b candEntry) int {
+		switch {
+		case a.dist < b.dist:
+			return -1
+		case a.dist > b.dist:
+			return 1
+		case a.obj < b.obj:
+			return -1
+		case a.obj > b.obj:
+			return 1
+		}
+		return 0
+	})
+	if len(c.items) > c.k {
+		for i := c.k; i < len(c.items); i++ {
+			delete(c.index, c.items[i].obj)
+		}
+		c.items = c.items[:c.k]
+	}
+	c.best = c.best[:0]
+	c.result = c.result[:0]
+	for i := range c.items {
+		c.index[c.items[i].obj] = int32(i)
+		c.best = append(c.best, c.items[i].dist)
+		c.result = append(c.result, Neighbor{Obj: c.items[i].obj, Dist: c.items[i].dist})
+	}
+	c.dirty = false
+	return c.result
+}
+
+// contains reports whether obj is currently a candidate.
+func (c *candidateSet) contains(obj roadnet.ObjectID) bool {
+	_, ok := c.index[obj]
+	return ok
+}
+
+// len returns the number of candidates.
+func (c *candidateSet) len() int { return len(c.items) }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"roadknn/internal/roadnet"
+)
+
+// TestQuickCandidateKthInvariant drives the candidate set with random
+// sequences of add / setExact / remove / finalize operations and checks
+// after every step that kth() equals the k-th smallest distance of a
+// shadow model (or +Inf when fewer than k candidates exist), and that the
+// incremental `best` maintenance never diverges from the lazy rebuild.
+func TestQuickCandidateKthInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(6)
+		c := newCandidateSet(k)
+		shadow := map[roadnet.ObjectID]float64{}
+
+		checkKth := func(step int) {
+			ds := make([]float64, 0, len(shadow))
+			for _, d := range shadow {
+				ds = append(ds, d)
+			}
+			sort.Float64s(ds)
+			want := math.Inf(1)
+			if len(ds) >= k {
+				want = ds[k-1]
+			}
+			if got := c.kth(); got != want {
+				t.Fatalf("trial %d step %d (k=%d): kth = %v, want %v (shadow %v)",
+					trial, step, k, got, want, shadow)
+			}
+		}
+
+		ops := 5 + rng.Intn(60)
+		for step := 0; step < ops; step++ {
+			obj := roadnet.ObjectID(rng.Intn(8))
+			d := float64(rng.Intn(20)) / 2
+			switch rng.Intn(4) {
+			case 0: // add keeps the minimum and may reject beyond-kth
+				if cur, ok := shadow[obj]; ok {
+					if d < cur {
+						shadow[obj] = d
+					}
+				} else if d <= c.kth() {
+					shadow[obj] = d
+				}
+				c.add(obj, d, pz)
+			case 1: // setExact overwrites
+				shadow[obj] = d
+				c.setExact(obj, d, pz)
+			case 2:
+				delete(shadow, obj)
+				c.remove(obj)
+			case 3:
+				res := c.finalize()
+				// finalize trims to the best k.
+				type pair struct {
+					o roadnet.ObjectID
+					d float64
+				}
+				var ps []pair
+				for o, dd := range shadow {
+					ps = append(ps, pair{o, dd})
+				}
+				sort.Slice(ps, func(i, j int) bool {
+					if ps[i].d != ps[j].d {
+						return ps[i].d < ps[j].d
+					}
+					return ps[i].o < ps[j].o
+				})
+				if len(ps) > k {
+					for _, dropped := range ps[k:] {
+						delete(shadow, dropped.o)
+					}
+					ps = ps[:k]
+				}
+				if len(res) != len(ps) {
+					t.Fatalf("trial %d step %d: finalize len %d, want %d", trial, step, len(res), len(ps))
+				}
+				for i := range ps {
+					if res[i].Obj != ps[i].o || res[i].Dist != ps[i].d {
+						t.Fatalf("trial %d step %d: finalize[%d] = %v, want %v",
+							trial, step, i, res[i], ps[i])
+					}
+				}
+			}
+			checkKth(step)
+			if c.len() != len(shadow) {
+				t.Fatalf("trial %d step %d: len %d, want %d", trial, step, c.len(), len(shadow))
+			}
+		}
+	}
+}
+
+// TestQuickCandidateAddRejectionIsSafe verifies the memory-bounding
+// rejection in add: a rejected candidate can never belong to the final
+// top-k of the same expansion (kth only shrinks between adds).
+func TestQuickCandidateAddRejectionIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		c := newCandidateSet(k)
+		all := map[roadnet.ObjectID]float64{}
+		n := 5 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			obj := roadnet.ObjectID(rng.Intn(30))
+			d := rng.Float64() * 10
+			if cur, ok := all[obj]; !ok || d < cur {
+				all[obj] = d
+			}
+			c.add(obj, d, pz)
+		}
+		res := c.finalize()
+		// Expected top-k from the full multiset.
+		type pair struct {
+			o roadnet.ObjectID
+			d float64
+		}
+		var ps []pair
+		for o, d := range all {
+			ps = append(ps, pair{o, d})
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].d != ps[j].d {
+				return ps[i].d < ps[j].d
+			}
+			return ps[i].o < ps[j].o
+		})
+		if len(ps) > k {
+			ps = ps[:k]
+		}
+		for i := range ps {
+			if res[i].Obj != ps[i].o || res[i].Dist != ps[i].d {
+				t.Fatalf("trial %d: result[%d] = %v, want %v", trial, i, res[i], ps[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"roadknn/internal/roadnet"
+)
+
+// pz is a placeholder position for candidate-set tests.
+var pz = roadnet.Position{Edge: 0, Frac: 0.5}
+
+func TestCandidateSetBasics(t *testing.T) {
+	c := newCandidateSet(2)
+	if !math.IsInf(c.kth(), 1) {
+		t.Fatal("empty set kth should be +Inf")
+	}
+	c.add(1, 5, pz)
+	c.add(2, 3, pz)
+	if got := c.kth(); got != 5 {
+		t.Fatalf("kth = %g, want 5", got)
+	}
+	c.add(3, 1, pz)
+	if got := c.kth(); got != 3 {
+		t.Fatalf("kth after third insert = %g, want 3", got)
+	}
+	res := c.finalize()
+	if len(res) != 2 || res[0].Obj != 3 || res[1].Obj != 2 {
+		t.Fatalf("finalize = %v", res)
+	}
+	if c.contains(1) {
+		t.Fatal("trimmed candidate still present")
+	}
+}
+
+func TestCandidateSetDedupKeepsMin(t *testing.T) {
+	c := newCandidateSet(3)
+	c.add(7, 10, pz)
+	c.add(7, 4, pz) // shorter path to the same object (Fig. 3b)
+	c.add(7, 8, pz) // longer again: ignored
+	res := c.finalize()
+	if len(res) != 1 || res[0].Dist != 4 {
+		t.Fatalf("finalize = %v, want single entry dist 4", res)
+	}
+}
+
+func TestCandidateSetRejectsBeyondKth(t *testing.T) {
+	c := newCandidateSet(1)
+	c.add(1, 2, pz)
+	if c.add(2, 5, pz) {
+		t.Fatal("candidate beyond kth accepted")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	// Equal distance must be kept (ties).
+	if !c.add(3, 2, pz) {
+		t.Fatal("tie candidate rejected")
+	}
+}
+
+func TestCandidateSetSetExactCanIncrease(t *testing.T) {
+	c := newCandidateSet(2)
+	c.add(1, 1, pz)
+	c.add(2, 2, pz)
+	c.setExact(1, 9, pz) // object moved away
+	if got := c.kth(); got != 9 {
+		t.Fatalf("kth = %g, want 9", got)
+	}
+	res := c.finalize()
+	if res[0].Obj != 2 || res[1].Obj != 1 {
+		t.Fatalf("order after setExact = %v", res)
+	}
+}
+
+func TestCandidateSetRemove(t *testing.T) {
+	c := newCandidateSet(2)
+	c.add(1, 1, pz)
+	c.add(2, 2, pz)
+	c.remove(1)
+	if c.contains(1) || c.len() != 1 {
+		t.Fatal("remove failed")
+	}
+	c.remove(42) // absent: no-op
+	if !math.IsInf(c.kth(), 1) {
+		t.Fatalf("kth with 1 of 2 = %g, want +Inf", c.kth())
+	}
+}
+
+func TestCandidateSetTieBreakByID(t *testing.T) {
+	c := newCandidateSet(2)
+	c.add(9, 1, pz)
+	c.add(3, 1, pz)
+	c.add(5, 1, pz)
+	res := c.finalize()
+	if res[0].Obj != 3 || res[1].Obj != 5 {
+		t.Fatalf("tie order = %v, want objs 3,5", res)
+	}
+}
+
+func TestCandidateSetReset(t *testing.T) {
+	c := newCandidateSet(2)
+	c.add(1, 1, pz)
+	c.finalize()
+	c.reset(3)
+	if c.len() != 0 || c.contains(1) {
+		t.Fatal("reset did not clear")
+	}
+	if c.k != 3 {
+		t.Fatalf("k = %d, want 3", c.k)
+	}
+}

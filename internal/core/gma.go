@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// GMA is the group monitoring algorithm (paper §5): queries are grouped by
+// the sequence (maximal path between intersections) containing them; the
+// k-NN sets of the sequence endpoints ("active nodes") are monitored with
+// the IMA machinery, and each query is answered from the objects inside
+// its sequence plus the endpoint NN sets (Lemma 1).
+type GMA struct {
+	net  *roadnet.Network
+	seqs *roadnet.Sequences
+
+	// inner monitors the active nodes; its QueryIDs are node ids.
+	inner *monitorSet
+
+	queries map[QueryID]*gmaQuery
+	// qIL is the query-side influence table: for each sequence edge, the
+	// queries influenced by it together with the influencing interval.
+	qIL []map[QueryID]qInterval
+	// nodeQ is n.Q with each member's k (to maintain n.k = max q.k).
+	nodeQ map[graph.NodeID]map[QueryID]int
+	// naiveEval disables the bounded in-sequence walk: evaluations scan the
+	// whole sequence and always merge both endpoint NN sets (the GMA-naive
+	// ablation, §5's strawman).
+	naiveEval bool
+}
+
+// gmaQuery is the per-query state: no expansion tree — only the result,
+// the sequence, and how far along it the evaluation reached.
+type gmaQuery struct {
+	id   QueryID
+	k    int
+	pos  roadnet.Position
+	seq  roadnet.SeqID
+	cand *candidateSet
+
+	result []Neighbor
+	kdist  float64
+
+	reachA, reachB bool    // whether the walk reached each endpoint
+	distA, distB   float64 // arc distance to the endpoints when reached
+
+	affEdges map[graph.EdgeID]qInterval
+}
+
+// qInterval is an influencing interval in edge-fraction space.
+type qInterval struct{ lo, hi float64 }
+
+func (iv qInterval) contains(f float64) bool {
+	return f >= iv.lo-distEps && f <= iv.hi+distEps
+}
+
+// union widens iv to cover o (conservative for disjoint pieces:
+// over-inclusion only costs spurious re-evaluations, never correctness).
+func (iv qInterval) union(o qInterval) qInterval {
+	if o.lo < iv.lo {
+		iv.lo = o.lo
+	}
+	if o.hi > iv.hi {
+		iv.hi = o.hi
+	}
+	return iv
+}
+
+// NewGMA creates a GMA engine over net, decomposing the network into
+// sequences.
+func NewGMA(net *roadnet.Network) *GMA {
+	return &GMA{
+		net:     net,
+		seqs:    roadnet.DecomposeSequences(net.G),
+		inner:   newMonitorSet(net, true),
+		queries: make(map[QueryID]*gmaQuery),
+		qIL:     make([]map[QueryID]qInterval, net.G.NumEdges()),
+		nodeQ:   make(map[graph.NodeID]map[QueryID]int),
+	}
+}
+
+// Name implements Engine.
+func (e *GMA) Name() string { return "GMA" }
+
+// Network implements Engine.
+func (e *GMA) Network() *roadnet.Network { return e.net }
+
+// Register implements Engine.
+func (e *GMA) Register(id QueryID, pos roadnet.Position, k int) {
+	if _, dup := e.queries[id]; dup {
+		panic(fmt.Sprintf("core: query %d already registered", id))
+	}
+	if k <= 0 {
+		panic("core: query k must be positive")
+	}
+	q := &gmaQuery{
+		id: id, k: k, pos: pos,
+		cand:     newCandidateSet(k),
+		kdist:    math.Inf(1),
+		affEdges: make(map[graph.EdgeID]qInterval, 4),
+	}
+	e.queries[id] = q
+	e.attach(q, nil)
+	e.evaluate(q)
+}
+
+// Unregister implements Engine.
+func (e *GMA) Unregister(id QueryID) {
+	q, ok := e.queries[id]
+	if !ok {
+		return
+	}
+	e.detach(q, nil)
+	delete(e.queries, id)
+}
+
+// Result implements Engine.
+func (e *GMA) Result(id QueryID) []Neighbor {
+	if q, ok := e.queries[id]; ok {
+		return q.result
+	}
+	return nil
+}
+
+// Queries implements Engine.
+func (e *GMA) Queries() []QueryID {
+	out := make([]QueryID, 0, len(e.queries))
+	for id := range e.queries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// endpoints returns the distinct endpoints of q's sequence that need to be
+// active for q: endpoints with degree 1 (terminal nodes) are skipped, as
+// nothing lies beyond them (paper §5).
+func (e *GMA) endpoints(q *gmaQuery) []graph.NodeID {
+	seq := &e.seqs.Seqs[q.seq]
+	var out []graph.NodeID
+	if e.net.G.Degree(seq.EndA) > 1 {
+		out = append(out, seq.EndA)
+	}
+	if seq.EndB != seq.EndA && e.net.G.Degree(seq.EndB) > 1 {
+		out = append(out, seq.EndB)
+	}
+	return out
+}
+
+// attach registers q in its sequence's bookkeeping, activating endpoint
+// nodes or raising their monitored k as needed. Nodes whose monitored set
+// was (re)computed have their dependent queries added to affected.
+func (e *GMA) attach(q *gmaQuery, affected map[QueryID]bool) {
+	q.seq = e.seqs.ByEdge[q.pos.Edge]
+	for _, n := range e.endpoints(q) {
+		qs := e.nodeQ[n]
+		if qs == nil {
+			qs = make(map[QueryID]int, 2)
+			e.nodeQ[n] = qs
+		}
+		qs[q.id] = q.k
+		nid := QueryID(n)
+		if mon, active := e.inner.mons[nid]; !active {
+			e.inner.register(nid, e.nodePosition(n), q.k)
+		} else if mon.k < q.k {
+			mon.setK(q.k)
+			mon.computeInitial()
+			e.markNodeQueries(n, affected)
+		}
+	}
+}
+
+// detach removes q from its sequence's bookkeeping, deactivating endpoint
+// nodes left without dependent queries and shrinking over-sized monitors.
+func (e *GMA) detach(q *gmaQuery, affected map[QueryID]bool) {
+	for eid := range q.affEdges {
+		delete(e.qIL[eid], q.id)
+	}
+	clear(q.affEdges)
+	for _, n := range e.endpoints(q) {
+		qs := e.nodeQ[n]
+		delete(qs, q.id)
+		nid := QueryID(n)
+		if len(qs) == 0 {
+			delete(e.nodeQ, n)
+			e.inner.unregister(nid)
+			continue
+		}
+		maxK := 0
+		for _, k := range qs {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		if mon := e.inner.mons[nid]; mon.k != maxK {
+			mon.setK(maxK)
+			mon.computeInitial()
+			e.markNodeQueries(n, affected)
+		}
+	}
+}
+
+func (e *GMA) markNodeQueries(n graph.NodeID, affected map[QueryID]bool) {
+	if affected == nil {
+		return
+	}
+	for qid := range e.nodeQ[n] {
+		affected[qid] = true
+	}
+}
+
+// nodePosition expresses node n as a Position on one of its incident edges.
+func (e *GMA) nodePosition(n graph.NodeID) roadnet.Position {
+	eid := e.net.G.Incident(n)[0]
+	if e.net.G.Edge(eid).U == n {
+		return roadnet.Position{Edge: eid, Frac: 0}
+	}
+	return roadnet.Position{Edge: eid, Frac: 1}
+}
+
+// Step implements Engine, following Fig. 12: query insertions/deletions
+// update the active-node bookkeeping first; the inner IMA then maintains
+// the active-node NN sets; the queries affected by node changes, object
+// updates, or edge updates are recomputed from scratch.
+func (e *GMA) Step(u Updates) {
+	affected := make(map[QueryID]bool)
+
+	// Lines 1-4: Qins/Qdel (a movement is a deletion plus an insertion).
+	for _, qu := range u.Queries {
+		switch {
+		case qu.Delete:
+			e.unregisterInStep(qu.ID, affected)
+		case qu.Insert:
+			q := &gmaQuery{
+				id: qu.ID, k: qu.K, pos: qu.New,
+				cand:     newCandidateSet(qu.K),
+				kdist:    math.Inf(1),
+				affEdges: make(map[graph.EdgeID]qInterval, 4),
+			}
+			e.queries[qu.ID] = q
+			e.attach(q, affected)
+			affected[qu.ID] = true
+		default:
+			q, ok := e.queries[qu.ID]
+			if !ok {
+				continue
+			}
+			e.detach(q, affected)
+			q.pos = qu.New
+			e.attach(q, affected)
+			affected[qu.ID] = true
+		}
+	}
+
+	// Line 5: maintain active-node results with IMA.
+	changedNodes := e.inner.step(u.Objects, u.Edges, nil)
+
+	// Lines 7-8: queries influenced by changed active nodes.
+	for nid := range changedNodes {
+		n := graph.NodeID(nid)
+		for qid := range e.nodeQ[n] {
+			q := e.queries[qid]
+			seq := &e.seqs.Seqs[q.seq]
+			if (seq.EndA == n && q.reachA) || (seq.EndB == n && q.reachB) {
+				affected[qid] = true
+			}
+		}
+	}
+
+	// Lines 9-12: object updates inside influencing intervals.
+	for _, ou := range u.Objects {
+		if !ou.Insert {
+			e.markPos(ou.Old, affected)
+		}
+		if !ou.Delete {
+			e.markPos(ou.New, affected)
+		}
+	}
+
+	// Lines 13-15: edge updates.
+	for _, eu := range u.Edges {
+		for qid := range e.qIL[eu.Edge] {
+			affected[qid] = true
+		}
+	}
+
+	// Lines 16-17: recompute affected queries from scratch.
+	for qid := range affected {
+		if q, ok := e.queries[qid]; ok {
+			e.evaluate(q)
+		}
+	}
+}
+
+func (e *GMA) unregisterInStep(id QueryID, affected map[QueryID]bool) {
+	q, ok := e.queries[id]
+	if !ok {
+		return
+	}
+	e.detach(q, affected)
+	delete(e.queries, id)
+	delete(affected, id)
+}
+
+// markPos flags the queries whose influencing interval on pos's edge
+// contains pos.
+func (e *GMA) markPos(pos roadnet.Position, affected map[QueryID]bool) {
+	for qid, iv := range e.qIL[pos.Edge] {
+		if iv.contains(pos.Frac) {
+			affected[qid] = true
+		}
+	}
+}
+
+// SizeBytes implements Engine: the active-node trees and influence lists,
+// plus the per-query results and sequence-interval registrations. The
+// static sequence table is charged as well (paper §5: GMA's extra
+// structure).
+func (e *GMA) SizeBytes() int {
+	n := e.inner.sizeBytes()
+	for _, q := range e.queries {
+		n += q.cand.len()*24 + len(q.affEdges)*(4+16+16) + 96
+	}
+	for _, m := range e.qIL {
+		n += len(m) * (4 + 16 + 16)
+	}
+	for _, qs := range e.nodeQ {
+		n += 16 + len(qs)*8
+	}
+	n += len(e.seqs.Seqs) * 48
+	n += e.net.G.NumEdges() * 8 // ByEdge / EdgeIndex
+	return n
+}

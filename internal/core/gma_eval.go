@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// walkEdge records a sequence edge covered during evaluation: the arc
+// distance at which the walk entered it and from which endpoint.
+type walkEdge struct {
+	eid    graph.EdgeID
+	dEntry float64
+	fromU  bool
+}
+
+// evaluate computes q's result from scratch (paper §5): objects on the
+// query's own edge are scanned directly; the walk then expands along the
+// sequence in both directions, scanning edge object lists and merging the
+// NN set of an endpoint active node when it is reached within kNN_dist.
+// The influencing intervals on the covered sequence edges are re-registered
+// from the final kNN_dist.
+func (e *GMA) evaluate(q *gmaQuery) {
+	for eid := range q.affEdges {
+		delete(e.qIL[eid], q.id)
+	}
+	clear(q.affEdges)
+	q.cand.reset(q.k)
+
+	ownEdge := e.net.G.Edge(q.pos.Edge)
+	for _, oe := range e.net.ObjectsOn(q.pos.Edge) {
+		q.cand.add(oe.ID, math.Abs(oe.Frac-q.pos.Frac)*ownEdge.W, roadnet.Position{Edge: q.pos.Edge, Frac: oe.Frac})
+	}
+
+	seq := &e.seqs.Seqs[q.seq]
+	var covered []walkEdge
+	q.reachB, q.distB = e.walkDir(q, seq, +1, &covered)
+	q.reachA, q.distA = e.walkDir(q, seq, -1, &covered)
+
+	q.result = q.cand.finalize()
+	q.kdist = q.cand.kth()
+
+	e.registerIntervals(q, covered)
+}
+
+// walkDir expands along the sequence from q's edge: dir=+1 walks toward
+// EndB (increasing edge index), dir=-1 toward EndA. It reports whether the
+// endpoint was reached within the moving bound kNN_dist and at what arc
+// distance.
+func (e *GMA) walkDir(q *gmaQuery, seq *roadnet.Sequence, dir int, covered *[]walkEdge) (bool, float64) {
+	g := e.net.G
+	idx := int(e.seqs.EdgeIndex[q.pos.Edge])
+
+	var node graph.NodeID
+	var j int // index of the next edge to traverse
+	if dir > 0 {
+		node = seq.Nodes[idx+1]
+		j = idx + 1
+	} else {
+		node = seq.Nodes[idx]
+		j = idx - 1
+	}
+	d := e.net.CostFrom(node, q.pos)
+
+	for {
+		if !e.naiveEval && d >= q.cand.kth() {
+			return false, math.Inf(1)
+		}
+		atEnd := (dir > 0 && j == len(seq.Edges)) || (dir < 0 && j == -1)
+		if atEnd {
+			e.mergeNodeSet(q, node, d)
+			return true, d
+		}
+		eid := seq.Edges[j]
+		ed := g.Edge(eid)
+		for _, oe := range e.net.ObjectsOn(eid) {
+			q.cand.add(oe.ID, d+costFrom(ed, node, oe.Frac), roadnet.Position{Edge: eid, Frac: oe.Frac})
+		}
+		*covered = append(*covered, walkEdge{eid: eid, dEntry: d, fromU: ed.U == node})
+		d += ed.W
+		node = ed.Other(node)
+		j += dir
+	}
+}
+
+// mergeNodeSet folds the NN set of active node n (at arc distance d from
+// the query) into q's candidates. Terminal nodes have no monitored set —
+// nothing lies beyond them.
+func (e *GMA) mergeNodeSet(q *gmaQuery, n graph.NodeID, d float64) {
+	if e.net.G.Degree(n) <= 1 {
+		return
+	}
+	mon, ok := e.inner.mons[QueryID(n)]
+	if !ok {
+		panic("core: gma query depends on inactive node")
+	}
+	for _, nb := range mon.result {
+		// The merged object's own position is unknown here and irrelevant:
+		// GMA queries are re-evaluated from scratch, never re-derived.
+		q.cand.add(nb.Obj, d+nb.Dist, roadnet.Position{Edge: q.pos.Edge, Frac: q.pos.Frac})
+	}
+}
+
+// registerIntervals writes q's influencing intervals: on its own edge the
+// direct span q ± kNN_dist, and on every covered sequence edge the portion
+// within kNN_dist of the walk's entry point.
+func (e *GMA) registerIntervals(q *gmaQuery, covered []walkEdge) {
+	w := e.net.G.Edge(q.pos.Edge).W
+	span := fracSpan(q.kdist, w)
+	e.addInterval(q, q.pos.Edge, qInterval{
+		lo: math.Max(0, q.pos.Frac-span),
+		hi: math.Min(1, q.pos.Frac+span),
+	})
+	for _, we := range covered {
+		remain := q.kdist - we.dEntry
+		if remain <= -distEps {
+			continue
+		}
+		f := fracSpan(remain, e.net.G.Edge(we.eid).W)
+		var iv qInterval
+		if we.fromU {
+			iv = qInterval{lo: 0, hi: f}
+		} else {
+			iv = qInterval{lo: 1 - f, hi: 1}
+		}
+		e.addInterval(q, we.eid, iv)
+	}
+}
+
+// fracSpan converts a travel-cost span into edge-fraction units, clipped
+// to one full edge.
+func fracSpan(cost, w float64) float64 {
+	if math.IsInf(cost, 1) || cost >= w {
+		return 1
+	}
+	if cost <= 0 {
+		return 0
+	}
+	return cost / w
+}
+
+func (e *GMA) addInterval(q *gmaQuery, eid graph.EdgeID, iv qInterval) {
+	if cur, ok := q.affEdges[eid]; ok {
+		iv = cur.union(iv)
+	}
+	q.affEdges[eid] = iv
+	m := e.qIL[eid]
+	if m == nil {
+		m = make(map[QueryID]qInterval, 2)
+		e.qIL[eid] = m
+	}
+	m[q.id] = iv
+}

@@ -1,0 +1,55 @@
+package core
+
+import "roadknn/internal/graph"
+
+// ilTable is the influence-list side of the paper's edge table ET: for each
+// edge, the set of monitored points (queries, or GMA active nodes) whose
+// current k-NN region touches the edge.
+//
+// The paper stores explicit influencing intervals per (edge, query) pair.
+// Here the interval test "does position p fall inside q's influencing
+// interval of edge e?" is evaluated by the equivalent O(1) predicate
+// monitor.distanceTo(p) <= q.kNN_dist, using the query's live expansion
+// tree; the table therefore only needs the edge -> query membership sets,
+// stored as small unordered slices (regions touch few queries each, and
+// slice iteration is much cheaper than map iteration on the hot
+// update-classification path).
+type ilTable struct {
+	byEdge [][]QueryID
+}
+
+func newILTable(numEdges int) *ilTable {
+	return &ilTable{byEdge: make([][]QueryID, numEdges)}
+}
+
+func (t *ilTable) add(e graph.EdgeID, q QueryID) {
+	t.byEdge[e] = append(t.byEdge[e], q)
+}
+
+func (t *ilTable) remove(e graph.EdgeID, q QueryID) {
+	l := t.byEdge[e]
+	for i, x := range l {
+		if x == q {
+			l[i] = l[len(l)-1]
+			t.byEdge[e] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// forEach calls fn for every query registered on edge e. fn must not
+// mutate the table for edge e.
+func (t *ilTable) forEach(e graph.EdgeID, fn func(QueryID)) {
+	for _, q := range t.byEdge[e] {
+		fn(q)
+	}
+}
+
+// entries returns the total number of (edge, query) registrations.
+func (t *ilTable) entries() int {
+	n := 0
+	for _, l := range t.byEdge {
+		n += len(l)
+	}
+	return n
+}

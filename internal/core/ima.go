@@ -1,0 +1,74 @@
+package core
+
+import (
+	"roadknn/internal/roadnet"
+)
+
+// IMA is the incremental monitoring algorithm (paper §4): each query keeps
+// an expansion tree and influence lists so that only updates landing inside
+// its influence region are processed, and the valid part of the tree is
+// reused after query movements and edge weight changes.
+type IMA struct {
+	set *monitorSet
+}
+
+// NewIMA creates an IMA engine over net. The engine takes ownership of the
+// network's object registry and edge weights.
+func NewIMA(net *roadnet.Network) *IMA {
+	return &IMA{set: newMonitorSet(net, false)}
+}
+
+// Name implements Engine.
+func (e *IMA) Name() string { return "IMA" }
+
+// Network implements Engine.
+func (e *IMA) Network() *roadnet.Network { return e.set.net }
+
+// Register implements Engine.
+func (e *IMA) Register(id QueryID, pos roadnet.Position, k int) {
+	e.set.register(id, pos, k)
+}
+
+// Unregister implements Engine.
+func (e *IMA) Unregister(id QueryID) { e.set.unregister(id) }
+
+// Step implements Engine. Query terminations are handled before any other
+// update and new installations after all updates, per §4.5.
+func (e *IMA) Step(u Updates) {
+	var moves []queryMove
+	var inserts []QueryUpdate
+	for _, qu := range u.Queries {
+		switch {
+		case qu.Delete:
+			e.Unregister(qu.ID)
+		case qu.Insert:
+			inserts = append(inserts, qu)
+		default:
+			moves = append(moves, queryMove{id: qu.ID, pos: qu.New})
+		}
+	}
+	e.set.step(u.Objects, u.Edges, moves)
+	for _, qu := range inserts {
+		e.Register(qu.ID, qu.New, qu.K)
+	}
+}
+
+// Result implements Engine.
+func (e *IMA) Result(id QueryID) []Neighbor {
+	if m, ok := e.set.mons[id]; ok {
+		return m.result
+	}
+	return nil
+}
+
+// Queries implements Engine.
+func (e *IMA) Queries() []QueryID {
+	out := make([]QueryID, 0, len(e.set.mons))
+	for id := range e.set.mons {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SizeBytes implements Engine.
+func (e *IMA) SizeBytes() int { return e.set.sizeBytes() }

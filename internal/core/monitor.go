@@ -1,0 +1,407 @@
+package core
+
+import (
+	"math"
+	"slices"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/pqueue"
+	"roadknn/internal/roadnet"
+)
+
+// treeNode is one verified node of an expansion tree: its exact network
+// distance from the query, and the parent node/edge on the shortest path
+// (parent == NoNode for children of the root, reached directly along the
+// query's own edge).
+type treeNode struct {
+	dist       float64
+	parent     graph.NodeID
+	parentEdge graph.EdgeID
+}
+
+// tentative carries heap bookkeeping during an expansion: the would-be
+// parent of a node not yet verified.
+type tentative struct {
+	parent graph.NodeID
+	edge   graph.EdgeID
+}
+
+// monitor is the per-query state of IMA (paper §3-§4): the query's position
+// and k, its current result and kNN_dist, and its expansion tree — the
+// shortest paths from the query to every node within kNN_dist. GMA reuses
+// monitor for its active nodes.
+//
+// Invariants between timestamps:
+//
+//  1. tree[n].dist is the exact network distance from pos to n for every
+//     tree node n, and every node with true distance < kNN_dist is in the
+//     tree;
+//  2. result holds the k closest objects with exact distances (fewer than k
+//     only when fewer are reachable), kdist is the k-th distance (+Inf when
+//     short);
+//  3. affEdges is exactly the set of edges with a tree endpoint closer than
+//     kdist, plus the query's own edge, mirrored into the influence table.
+//
+// During update processing the invariants are deliberately broken by the
+// pruning operations (onEdgeDecrease, onEdgeIncrease, onMove) and restored
+// by finalize.
+type monitor struct {
+	net *roadnet.Network
+	il  *ilTable // nil to disable influence bookkeeping (OVH)
+
+	id   QueryID
+	k    int
+	pos  roadnet.Position
+	cand *candidateSet
+	// result aliases cand's storage after finalize; kdist mirrors cand.kth.
+	result []Neighbor
+	kdist  float64
+
+	tree map[graph.NodeID]treeNode
+	// affEdges is the sorted list of edges currently registered in the
+	// influence table for this query.
+	affEdges   []graph.EdgeID
+	affScratch []graph.EdgeID
+
+	needRecompute bool // tree discarded; compute from scratch at finalize
+	needFinalize  bool // tree pruned or result dirtied; restore at finalize
+	needExpand    bool // coverage may have grown; re-search from the marks
+	// fullRefresh forces re-derivation of every candidate distance: set by
+	// the edge/move handlers, whose effects are not attributable to
+	// individual objects. Object-only timestamps re-derive just the moved
+	// objects.
+	fullRefresh bool
+	// treeDirty records that the tree's node set changed since the last
+	// influence-list rebuild.
+	treeDirty bool
+	// ilKdist is the kNN_dist the influence lists were last rebuilt for.
+	// While kdist stays within (ilKdist/2, ilKdist] and the tree is
+	// untouched, the registered (wider) region remains a correct
+	// over-approximation and the rebuild is skipped.
+	ilKdist float64
+	// slack bounds how much any tree distance or affecting weight may have
+	// dropped since the last finalize (summed edge-weight decreases plus
+	// query-move shifts). The fully-covered-edge test in reexpand charges
+	// 1.5*slack against the previous kNN_dist so it stays sound under
+	// current values; weight increases only make the test stricter.
+	slack float64
+	// pendingTouch lists objects whose distances were invalidated by
+	// non-tree edge-weight changes and must be re-derived at finalize.
+	pendingTouch []roadnet.ObjectID
+
+	// scratch buffers reused across expansions and finalizes
+	heap       *pqueue.Min[graph.NodeID]
+	tent       map[graph.NodeID]tentative
+	idScratch  []roadnet.ObjectID
+	oldScratch []Neighbor
+}
+
+func newMonitor(net *roadnet.Network, il *ilTable, id QueryID, pos roadnet.Position, k int) *monitor {
+	if k <= 0 {
+		panic("core: query k must be positive")
+	}
+	return &monitor{
+		net: net, il: il, id: id, k: k, pos: pos,
+		cand:  newCandidateSet(k),
+		kdist: math.Inf(1),
+		tree:  make(map[graph.NodeID]treeNode, 32),
+		heap:  pqueue.New[graph.NodeID](32),
+		tent:  make(map[graph.NodeID]tentative, 32),
+	}
+}
+
+// costFrom returns the travel cost from endpoint n of edge e to the point
+// at fraction frac along e.
+func costFrom(e *graph.Edge, n graph.NodeID, frac float64) float64 {
+	if n == e.U {
+		return frac * e.W
+	}
+	return (1 - frac) * e.W
+}
+
+// distanceTo returns the network distance from the query to p, exact
+// whenever p lies within the tree's coverage; outside coverage it returns
+// an upper bound (possibly +Inf). Every returned finite value is the
+// length of a real path.
+func (m *monitor) distanceTo(p roadnet.Position) float64 {
+	e := m.net.G.Edge(p.Edge)
+	d := math.Inf(1)
+	if tn, ok := m.tree[e.U]; ok {
+		d = tn.dist + p.Frac*e.W
+	}
+	if tn, ok := m.tree[e.V]; ok {
+		if alt := tn.dist + (1-p.Frac)*e.W; alt < d {
+			d = alt
+		}
+	}
+	if p.Edge == m.pos.Edge {
+		if direct := math.Abs(p.Frac-m.pos.Frac) * e.W; direct < d {
+			d = direct
+		}
+	}
+	return d
+}
+
+// covers reports whether p falls inside the query's influence region, i.e.
+// inside an influencing interval of some affecting edge.
+func (m *monitor) covers(p roadnet.Position) bool {
+	return m.distanceTo(p) <= m.kdist+distEps
+}
+
+// computeInitial runs the paper's Figure-2 algorithm: a bounded network
+// expansion around the query that fills the result, the expansion tree and
+// the influence lists from scratch.
+func (m *monitor) computeInitial() {
+	clear(m.tree)
+	m.cand.reset(m.k)
+	m.needRecompute = false
+	m.needFinalize = false
+	m.needExpand = false
+	m.fullRefresh = false
+	m.slack = 0
+	m.pendingTouch = m.pendingTouch[:0]
+
+	e := m.net.G.Edge(m.pos.Edge)
+	for _, oe := range m.net.ObjectsOn(m.pos.Edge) {
+		m.cand.add(oe.ID, math.Abs(oe.Frac-m.pos.Frac)*e.W, roadnet.Position{Edge: m.pos.Edge, Frac: oe.Frac})
+	}
+	m.heap.Reset()
+	clear(m.tent)
+	m.heap.Push(e.U, m.pos.Frac*e.W)
+	m.tent[e.U] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+	m.heap.Push(e.V, (1-m.pos.Frac)*e.W)
+	m.tent[e.V] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+
+	m.runExpansion()
+	m.result = m.cand.finalize()
+	m.kdist = m.cand.kth()
+	m.pruneToKdist()
+	m.rebuildIL()
+}
+
+// runExpansion continues a Dijkstra expansion: it pops nodes from the heap
+// while their key is below the moving bound kNN_dist, verifying each popped
+// node (inserting it into the tree) and scanning the objects on its
+// incident edges. Already-verified nodes are never re-verified.
+func (m *monitor) runExpansion() {
+	g := m.net.G
+	for {
+		n, d, ok := m.heap.PopMin()
+		if !ok || d >= m.cand.kth() {
+			break
+		}
+		if _, seen := m.tree[n]; seen {
+			continue
+		}
+		tt := m.tent[n]
+		m.tree[n] = treeNode{dist: d, parent: tt.parent, parentEdge: tt.edge}
+		m.treeDirty = true
+		for _, eid := range g.Incident(n) {
+			e := g.Edge(eid)
+			nadj := e.Other(n)
+			for _, oe := range m.net.ObjectsOn(eid) {
+				m.cand.add(oe.ID, d+costFrom(e, n, oe.Frac), roadnet.Position{Edge: eid, Frac: oe.Frac})
+			}
+			if _, verified := m.tree[nadj]; !verified {
+				if m.heap.Push(nadj, d+e.W) {
+					m.tent[nadj] = tentative{parent: n, edge: eid}
+				}
+			}
+		}
+	}
+}
+
+// reexpand resumes the expansion from the current tree frontier — the
+// paper's "initialize the heap to the marks of the valid tree and consider
+// its nodes verified" (§4.2, Fig. 10 lines 22-25).
+//
+// Edges fully covered by prevKdist (every point within the old bound, under
+// current weights and tree distances) hold only objects that are already
+// candidates, so only partially covered edges — the edges carrying marks —
+// are rescanned.
+func (m *monitor) reexpand(prevKdist float64) {
+	g := m.net.G
+	m.heap.Reset()
+	clear(m.tent)
+
+	e := g.Edge(m.pos.Edge)
+	for _, oe := range m.net.ObjectsOn(m.pos.Edge) {
+		m.cand.add(oe.ID, math.Abs(oe.Frac-m.pos.Frac)*e.W, roadnet.Position{Edge: m.pos.Edge, Frac: oe.Frac})
+	}
+	if _, ok := m.tree[e.U]; !ok {
+		m.heap.Push(e.U, m.pos.Frac*e.W)
+		m.tent[e.U] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+	}
+	if _, ok := m.tree[e.V]; !ok {
+		m.heap.Push(e.V, (1-m.pos.Frac)*e.W)
+		m.tent[e.V] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+	}
+	for n, tn := range m.tree {
+		for _, eid := range g.Incident(n) {
+			ed := g.Edge(eid)
+			nadj := ed.Other(n)
+			covered := false
+			if tnAdj, ok := m.tree[nadj]; ok && eid != m.pos.Edge {
+				// The farthest point of an edge reached from both endpoints
+				// lies at (du+dv+w)/2; if that was within the previous bound
+				// the edge was fully scanned before and its objects are
+				// already candidates. Distances and weights may have dropped
+				// by at most slack each since that scan.
+				covered = (tn.dist+tnAdj.dist+ed.W)/2 <= prevKdist-1.5*m.slack-distEps
+			}
+			if !covered {
+				for _, oe := range m.net.ObjectsOn(eid) {
+					m.cand.add(oe.ID, tn.dist+costFrom(ed, n, oe.Frac), roadnet.Position{Edge: eid, Frac: oe.Frac})
+				}
+			}
+			if _, verified := m.tree[nadj]; !verified {
+				if m.heap.Push(nadj, tn.dist+ed.W) {
+					m.tent[nadj] = tentative{parent: n, edge: eid}
+				}
+			}
+		}
+	}
+	m.runExpansion()
+}
+
+// frontierMin returns the smallest key a re-expansion heap would start
+// with: the distance of the nearest unverified node reachable from the
+// tree (or directly from the query). It is the distance of the nearest
+// "mark" in the paper's terms.
+func (m *monitor) frontierMin() float64 {
+	g := m.net.G
+	best := math.Inf(1)
+	e := g.Edge(m.pos.Edge)
+	if _, ok := m.tree[e.U]; !ok {
+		best = math.Min(best, m.pos.Frac*e.W)
+	}
+	if _, ok := m.tree[e.V]; !ok {
+		best = math.Min(best, (1-m.pos.Frac)*e.W)
+	}
+	for n, tn := range m.tree {
+		for _, eid := range g.Incident(n) {
+			ed := g.Edge(eid)
+			if _, verified := m.tree[ed.Other(n)]; !verified {
+				if d := tn.dist + ed.W; d < best {
+					best = d
+				}
+			}
+		}
+	}
+	return best
+}
+
+// pruneToKdist trims tree nodes farther than kNN_dist — the paper's tree
+// shrink after the result contracts (§4.2) or after a search leaves parts
+// of the tree beyond the new kNN_dist (§4.5 line 26).
+func (m *monitor) pruneToKdist() {
+	if math.IsInf(m.kdist, 1) {
+		return
+	}
+	for n, tn := range m.tree {
+		if tn.dist > m.kdist {
+			delete(m.tree, n)
+			m.treeDirty = true
+		}
+	}
+}
+
+// subtreeOf returns the set of tree nodes whose path from the query passes
+// through node b (b included).
+func (m *monitor) subtreeOf(b graph.NodeID) map[graph.NodeID]bool {
+	memo := make(map[graph.NodeID]bool, len(m.tree))
+	memo[b] = true
+	var classify func(n graph.NodeID) bool
+	classify = func(n graph.NodeID) bool {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		p := m.tree[n].parent
+		var v bool
+		if p == graph.NoNode {
+			v = false
+		} else {
+			v = classify(p)
+		}
+		memo[n] = v
+		return v
+	}
+	inSub := make(map[graph.NodeID]bool, 8)
+	inSub[b] = true
+	for n := range m.tree {
+		if classify(n) {
+			inSub[n] = true
+		}
+	}
+	return inSub
+}
+
+// rebuildIL recomputes the set of affecting edges (edges with a tree
+// endpoint closer than kNN_dist, plus the query's own edge) and diffs it
+// against the influence table.
+func (m *monitor) rebuildIL() {
+	if m.il == nil {
+		return
+	}
+	g := m.net.G
+	newAff := m.affScratch[:0]
+	newAff = append(newAff, m.pos.Edge)
+	for n, tn := range m.tree {
+		if tn.dist >= m.kdist {
+			continue
+		}
+		newAff = append(newAff, g.Incident(n)...)
+	}
+	slices.Sort(newAff)
+	newAff = slices.Compact(newAff)
+	// Two-pointer diff against the previous sorted registration list.
+	i, j := 0, 0
+	for i < len(m.affEdges) || j < len(newAff) {
+		switch {
+		case j == len(newAff) || (i < len(m.affEdges) && m.affEdges[i] < newAff[j]):
+			m.il.remove(m.affEdges[i], m.id)
+			i++
+		case i == len(m.affEdges) || newAff[j] < m.affEdges[i]:
+			m.il.add(newAff[j], m.id)
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	m.affEdges, m.affScratch = newAff, m.affEdges
+	m.ilKdist = m.kdist
+	m.treeDirty = false
+}
+
+// clearIL removes all influence registrations (query termination).
+func (m *monitor) clearIL() {
+	if m.il == nil {
+		return
+	}
+	for _, eid := range m.affEdges {
+		m.il.remove(eid, m.id)
+	}
+	m.affEdges = m.affEdges[:0]
+}
+
+// setK changes the number of monitored neighbors (used by GMA active
+// nodes whose n.k = max q.k changes); the monitor is recomputed lazily.
+func (m *monitor) setK(k int) {
+	if k == m.k {
+		return
+	}
+	m.k = k
+	m.needRecompute = true
+}
+
+// sizeBytes estimates the memory footprint of the monitor's bookkeeping,
+// using nominal per-entry costs for the maps (Fig. 18 measurements).
+func (m *monitor) sizeBytes() int {
+	const (
+		treeEntry = 4 + 24 + 16 // key + treeNode + map overhead
+		affEntry  = 4 + 8
+		candEntry = 12 + 12 + 8
+	)
+	return len(m.tree)*treeEntry + len(m.affEdges)*affEntry + m.cand.len()*candEntry + 96
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// This file contains the incremental update handlers of IMA (§4.2-§4.4):
+// each prunes the expansion tree to its provably-valid part, leaving the
+// monitor in the intermediate state that finalize repairs.
+
+// treeEdgeChild returns the child node of tree edge eid (the endpoint whose
+// shortest path uses eid) or NoNode when eid is not a tree edge.
+func (m *monitor) treeEdgeChild(eid graph.EdgeID) graph.NodeID {
+	e := m.net.G.Edge(eid)
+	if tn, ok := m.tree[e.U]; ok && tn.parentEdge == eid && tn.parent == e.V {
+		return e.U
+	}
+	if tn, ok := m.tree[e.V]; ok && tn.parentEdge == eid && tn.parent == e.U {
+		return e.V
+	}
+	return graph.NoNode
+}
+
+// onEdgeDecrease prunes the tree after the weight of affecting edge eid
+// drops from oldW to newW (§4.4, Fig. 9). Must be called after the graph
+// weight has been updated.
+//
+// Validity argument: any path improved by the decrease crosses eid, so its
+// length is at least bound = (distance of eid's nearer tree endpoint) +
+// newW; nodes closer than bound keep exact distances. When eid is a tree
+// edge a->b, the whole subtree under b additionally stays valid with
+// distances reduced by oldW-newW, because its paths cross eid exactly once
+// and remain optimal when they get uniformly cheaper.
+func (m *monitor) onEdgeDecrease(eid graph.EdgeID, oldW, newW float64) {
+	if m.needRecompute {
+		return
+	}
+	if eid == m.pos.Edge {
+		// The query's own edge changed: distances on both sides scale
+		// differently (§4.4 last paragraph); recompute.
+		m.needRecompute = true
+		return
+	}
+	e := m.net.G.Edge(eid)
+	if b := m.treeEdgeChild(eid); b != graph.NoNode {
+		delta := oldW - newW
+		inSub := m.subtreeOf(b)
+		for n := range inSub {
+			tn := m.tree[n]
+			tn.dist -= delta
+			m.tree[n] = tn
+		}
+		bound := m.tree[b].dist
+		for n, tn := range m.tree {
+			if !inSub[n] && tn.dist > bound {
+				delete(m.tree, n)
+			}
+		}
+		// Candidates reached through the subtree carry distances that are
+		// now too high by delta; re-derive everything.
+		m.fullRefresh = true
+		// A subtree decrease can pull objects on covered edges inside
+		// kNN_dist without any candidate distance changing; the search
+		// must resume from the marks (Fig. 9).
+		m.needExpand = true
+		m.treeDirty = true
+	} else {
+		bound := math.Inf(1)
+		if tn, ok := m.tree[e.U]; ok {
+			bound = tn.dist + newW
+		}
+		if tn, ok := m.tree[e.V]; ok && tn.dist+newW < bound {
+			bound = tn.dist + newW
+		}
+		pruned := false
+		for n, tn := range m.tree {
+			if tn.dist > bound {
+				delete(m.tree, n)
+				pruned = true
+			}
+		}
+		// No node distance changed: only the objects on this edge got
+		// cheaper to reach. Candidates whose paths improve through the
+		// pruned region are corrected by min-merge when the expansion
+		// re-verifies it. Any improved path crosses this edge at cost
+		// >= bound, so when bound lies beyond kNN_dist and nothing was
+		// pruned, the result cannot change through it and no re-search
+		// is needed.
+		for _, oe := range m.net.ObjectsOn(eid) {
+			m.pendingTouch = append(m.pendingTouch, oe.ID)
+		}
+		if pruned || bound < m.kdist+distEps {
+			m.needExpand = true
+			m.treeDirty = m.treeDirty || pruned
+		}
+	}
+	m.needFinalize = true
+	m.slack += oldW - newW
+}
+
+// onEdgeIncrease prunes the tree after the weight of affecting edge eid
+// rose (§4.4, Fig. 8): the subtree hanging under the edge (if it is a tree
+// edge) may now be reachable via cheaper detours and is discarded; the
+// rest of the tree avoids the edge and stays exact.
+func (m *monitor) onEdgeIncrease(eid graph.EdgeID) {
+	if m.needRecompute {
+		return
+	}
+	if eid == m.pos.Edge {
+		m.needRecompute = true
+		return
+	}
+	if b := m.treeEdgeChild(eid); b != graph.NoNode {
+		for n := range m.subtreeOf(b) {
+			delete(m.tree, n)
+		}
+		// The discarded subtree must be re-discovered via other paths, and
+		// candidates that were reached through it re-derived.
+		m.needExpand = true
+		m.treeDirty = true
+		m.fullRefresh = true
+	} else {
+		// Node distances are intact; only the objects on this edge changed
+		// travel cost.
+		for _, oe := range m.net.ObjectsOn(eid) {
+			m.pendingTouch = append(m.pendingTouch, oe.ID)
+		}
+	}
+	m.needFinalize = true
+}
+
+// onMove relocates the query to newPos (§4.3). When newPos lies on a tree
+// edge, the subtree rooted at the new location stays valid (sub-paths of
+// shortest paths are shortest) with distances reduced by d(q, q');
+// otherwise the result is recomputed from scratch.
+func (m *monitor) onMove(newPos roadnet.Position) {
+	if m.needRecompute {
+		m.pos = newPos
+		return
+	}
+	if !m.covers(newPos) {
+		m.pos = newPos
+		m.needRecompute = true
+		return
+	}
+	defer func() {
+		m.needFinalize, m.needExpand = true, true
+		m.fullRefresh, m.treeDirty = true, true
+	}()
+
+	if newPos.Edge == m.pos.Edge {
+		// Move along the query's own edge toward one endpoint; the root
+		// subtree on that side stays valid if the endpoint was reached
+		// directly along this edge.
+		e := m.net.G.Edge(newPos.Edge)
+		var side graph.NodeID
+		if newPos.Frac < m.pos.Frac {
+			side = e.U
+		} else if newPos.Frac > m.pos.Frac {
+			side = e.V
+		} else {
+			return // no actual movement
+		}
+		tn, ok := m.tree[side]
+		if !ok || tn.parent != graph.NoNode {
+			// The near endpoint is unverified or was reached the long way
+			// around: no part of the tree hangs past q'.
+			clear(m.tree)
+			m.pos = newPos
+			m.needRecompute = true
+			return
+		}
+		delta := m.net.ArcCost(m.pos, newPos)
+		m.retainSubtreeShifted(m.subtreeOf(side), delta)
+		m.slack += delta
+		m.pos = newPos
+		return
+	}
+
+	if b := m.treeEdgeChild(newPos.Edge); b != graph.NoNode {
+		// q' sits on tree edge a->b: the subtree under b remains valid with
+		// distances reduced by d(q, q') = dist(a) + cost(a -> q').
+		e := m.net.G.Edge(newPos.Edge)
+		a := e.Other(b)
+		dq := m.tree[a].dist + costFrom(e, a, newPos.Frac)
+		m.retainSubtreeShifted(m.subtreeOf(b), dq)
+		m.slack += dq
+		m.pos = newPos
+		return
+	}
+
+	// q' lies inside the influence region but on a non-tree (partially
+	// covered) edge: no subtree is rooted past it; recompute.
+	m.pos = newPos
+	m.needRecompute = true
+}
+
+// retainSubtreeShifted drops every tree node outside keep and subtracts
+// delta from the distances of the kept ones. The kept subtree's topmost
+// node becomes a child of the (relocated) root.
+func (m *monitor) retainSubtreeShifted(keep map[graph.NodeID]bool, delta float64) {
+	for n := range m.tree {
+		if !keep[n] {
+			delete(m.tree, n)
+		}
+	}
+	for n, tn := range m.tree {
+		tn.dist -= delta
+		if tn.parent != graph.NoNode {
+			if _, kept := m.tree[tn.parent]; !kept {
+				// Parent was pruned: n now hangs directly off the root.
+				tn.parent = graph.NoNode
+			}
+		}
+		m.tree[n] = tn
+	}
+}
+
+// finalize restores the monitor invariants after a timestamp's pruning and
+// object bookkeeping: it re-derives stale candidate distances from live
+// object positions (only the touched objects on object-only timestamps,
+// everything after edge/move pruning), resumes the expansion when needed
+// (Fig. 10 lines 20-26), and refreshes the influence lists. It reports
+// whether the result changed (only computed when trackChanges is set).
+//
+// touched lists the objects whose old or new location fell inside the
+// query's influence region this timestamp (incomers and moved/removed
+// neighbors alike).
+func (m *monitor) finalize(touched []roadnet.ObjectID, trackChanges bool) bool {
+	var oldResult []Neighbor
+	if trackChanges {
+		oldResult = append(m.oldScratch[:0], m.result...)
+		m.oldScratch = oldResult
+	}
+	oldKdist := m.kdist
+
+	if m.needRecompute {
+		m.computeInitial()
+		return trackChanges && !neighborsEqual(oldResult, m.result)
+	}
+
+	// Re-derive candidate distances; distanceTo is exact within coverage
+	// and never underestimates, so stale entries are corrected or evicted
+	// and re-found by the expansion. Touched objects (moved, inserted,
+	// removed) are refreshed from the object registry — updating the
+	// cached positions — first; after edge/move pruning the remaining
+	// entries are bulk re-derived from their (still fresh) cached
+	// positions without registry lookups.
+	ids := touched
+	if len(m.pendingTouch) > 0 {
+		ids = append(m.pendingTouch, touched...)
+	}
+	// Pass 1: existing members — update distances and cached positions,
+	// evict the unreachable. Distances may grow here, so the k-th bound
+	// settles before any non-member is offered.
+	for _, id := range ids {
+		if !m.cand.contains(id) {
+			continue
+		}
+		op, ok := m.net.ObjectPos(id)
+		if !ok {
+			m.cand.remove(id)
+			continue
+		}
+		if d := m.distanceTo(op); math.IsInf(d, 1) {
+			m.cand.remove(id)
+		} else {
+			m.cand.setExact(id, d, op)
+		}
+	}
+	if m.fullRefresh {
+		// Bulk re-derivation from cached positions. Iterate backwards:
+		// removeAt swaps the (already processed) last entry into the
+		// vacated slot.
+		for i := m.cand.len() - 1; i >= 0; i-- {
+			d := m.distanceTo(m.cand.items[i].pos)
+			if math.IsInf(d, 1) {
+				m.cand.removeAt(i)
+			} else {
+				m.cand.setDistAt(i, d)
+			}
+		}
+	}
+	// Pass 2: non-members enter through the bounded add, against the now
+	// settled (only shrinking from here) k-th bound, so the candidate set
+	// stays near k and the incremental bound stays clean.
+	for _, id := range ids {
+		if m.cand.contains(id) {
+			continue
+		}
+		op, ok := m.net.ObjectPos(id)
+		if !ok {
+			continue
+		}
+		if d := m.distanceTo(op); !math.IsInf(d, 1) {
+			m.cand.add(id, d, op)
+		}
+	}
+
+	// Resume the search from the marks when (a) the tree lost coverage or
+	// an affecting weight dropped (needExpand), (b) fewer than k candidates
+	// remain, or (c) kNN_dist grew — unmoved objects between the old and
+	// new bound have never been scanned. kth() is incremental, so the
+	// trigger costs no sort.
+	if m.needExpand || m.cand.len() < m.k || m.cand.kth() > oldKdist+distEps {
+		m.reexpand(oldKdist)
+	}
+	m.result = m.cand.finalize()
+	m.kdist = m.cand.kth()
+
+	// Influence lists must cover the current kNN_dist region; a stale wider
+	// registration is a correct over-approximation, so shrink lazily with
+	// 2x hysteresis and rebuild eagerly only on growth or tree change.
+	if m.treeDirty || m.kdist > m.ilKdist || m.kdist < m.ilKdist/2 {
+		m.pruneToKdist()
+		m.rebuildIL()
+	}
+	m.needFinalize = false
+	m.needExpand = false
+	m.fullRefresh = false
+	m.slack = 0
+	m.pendingTouch = m.pendingTouch[:0]
+	return trackChanges && !neighborsEqual(oldResult, m.result)
+}
+
+func neighborsEqual(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

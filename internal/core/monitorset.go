@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// monitorSet runs the complete IMA pipeline of Fig. 10 over a collection of
+// monitored points. The IMA engine instantiates it over the user queries;
+// GMA instantiates a second one over its active nodes (whose positions
+// never move).
+type monitorSet struct {
+	net  *roadnet.Network
+	il   *ilTable
+	mons map[QueryID]*monitor
+	// trackChanges enables result-change reporting from step, needed by
+	// GMA's active-node layer; IMA leaves it off to avoid copying every
+	// result each timestamp.
+	trackChanges bool
+	// unfiltered disables influence-list lookups: every update is offered
+	// to every monitor (the IMA-NF ablation).
+	unfiltered bool
+}
+
+func newMonitorSet(net *roadnet.Network, trackChanges bool) *monitorSet {
+	return &monitorSet{
+		net:          net,
+		il:           newILTable(net.G.NumEdges()),
+		mons:         make(map[QueryID]*monitor),
+		trackChanges: trackChanges,
+	}
+}
+
+func (s *monitorSet) register(id QueryID, pos roadnet.Position, k int) *monitor {
+	if _, dup := s.mons[id]; dup {
+		panic(fmt.Sprintf("core: query %d already registered", id))
+	}
+	m := newMonitor(s.net, s.il, id, pos, k)
+	s.mons[id] = m
+	m.computeInitial()
+	return m
+}
+
+func (s *monitorSet) unregister(id QueryID) {
+	m, ok := s.mons[id]
+	if !ok {
+		return
+	}
+	m.clearIL()
+	delete(s.mons, id)
+}
+
+// queryMove is a pending query relocation within a step.
+type queryMove struct {
+	id  QueryID
+	pos roadnet.Position
+}
+
+// step processes one timestamp of object updates, edge updates and query
+// moves in the order mandated by §4.5: out-of-tree moves first (full
+// recomputation, all other updates for them ignored), then edge weight
+// decreases, then increases, then in-tree query moves, then object
+// updates, and finally the per-query finalize. It returns the set of
+// queries whose results changed.
+func (s *monitorSet) step(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
+	affected := make(map[QueryID]bool)
+	touched := make(map[QueryID][]roadnet.ObjectID)
+
+	// Fig. 10 lines 1-3: queries moving outside their expansion tree are
+	// recomputed from scratch; flag them before any pruning so the later
+	// phases skip work on their (discarded) trees.
+	pendingMoves := moves[:0:0]
+	for _, mv := range moves {
+		m, ok := s.mons[mv.id]
+		if !ok {
+			continue
+		}
+		affected[mv.id] = true
+		if !m.covers(mv.pos) {
+			m.pos = mv.pos
+			m.needRecompute = true
+			continue
+		}
+		pendingMoves = append(pendingMoves, mv)
+	}
+
+	// Lines 4-13: edge updates, decreases strictly before increases.
+	s.applyEdgeUpdates(edges, affected)
+
+	// Lines 14-15: in-tree query moves, re-rooting the valid subtree. The
+	// covers test is repeated because edge pruning may have invalidated
+	// the part of the tree containing the new location.
+	for _, mv := range pendingMoves {
+		s.mons[mv.id].onMove(mv.pos)
+	}
+
+	// Lines 16-19: object updates.
+	s.applyObjectUpdates(objs, affected, touched)
+
+	// Lines 20-26: restore every affected query.
+	changed := make(map[QueryID]bool, len(affected))
+	for id := range affected {
+		if m, ok := s.mons[id]; ok {
+			if m.finalize(touched[id], s.trackChanges) {
+				changed[id] = true
+			}
+		}
+	}
+	return changed
+}
+
+// applyEdgeUpdates aggregates duplicate per-edge updates (§4.5: multiple
+// weight updates per edge per timestamp collapse into the overall change),
+// splits them into decreases and increases, prunes the trees of the
+// queries in each edge's influence list, and applies the new weights.
+func (s *monitorSet) applyEdgeUpdates(edges []EdgeUpdate, affected map[QueryID]bool) {
+	if len(edges) == 0 {
+		return
+	}
+	agg := make(map[graph.EdgeID]float64, len(edges))
+	order := make([]graph.EdgeID, 0, len(edges))
+	for _, eu := range edges {
+		if _, seen := agg[eu.Edge]; !seen {
+			order = append(order, eu.Edge)
+		}
+		agg[eu.Edge] = eu.NewW // last update wins: it is the final weight
+	}
+	var decs, incs []graph.EdgeID
+	for _, eid := range order {
+		oldW := s.net.G.Edge(eid).W
+		switch {
+		case agg[eid] < oldW:
+			decs = append(decs, eid)
+		case agg[eid] > oldW:
+			incs = append(incs, eid)
+		}
+	}
+	sort.Slice(decs, func(i, j int) bool { return decs[i] < decs[j] })
+	sort.Slice(incs, func(i, j int) bool { return incs[i] < incs[j] })
+
+	for _, eid := range decs {
+		oldW := s.net.G.Edge(eid).W
+		newW := agg[eid]
+		s.net.G.SetWeight(eid, newW)
+		s.forInfluenced(eid, func(q QueryID) {
+			affected[q] = true
+			s.mons[q].onEdgeDecrease(eid, oldW, newW)
+		})
+	}
+	for _, eid := range incs {
+		newW := agg[eid]
+		s.net.G.SetWeight(eid, newW)
+		s.forInfluenced(eid, func(q QueryID) {
+			affected[q] = true
+			s.mons[q].onEdgeIncrease(eid)
+		})
+	}
+}
+
+// forInfluenced visits the queries to consider for an update on edge e:
+// the edge's influence list normally, or every query when filtering is
+// ablated away.
+func (s *monitorSet) forInfluenced(e graph.EdgeID, fn func(QueryID)) {
+	if s.unfiltered {
+		for q := range s.mons {
+			fn(q)
+		}
+		return
+	}
+	s.il.forEach(e, fn)
+}
+
+// applyObjectUpdates applies object movements to the network and
+// classifies each update per affected query as outgoing, incoming or
+// moving (§4.2); the classification only marks queries and collects the
+// touched object ids — finalize re-derives their distances.
+func (s *monitorSet) applyObjectUpdates(objs []ObjectUpdate, affected map[QueryID]bool, touched map[QueryID][]roadnet.ObjectID) {
+	for _, ou := range objs {
+		switch {
+		case ou.Insert:
+			s.net.AddObject(ou.ID, ou.New)
+			s.markIncoming(ou.ID, ou.New, affected, touched)
+		case ou.Delete:
+			old, ok := s.net.RemoveObject(ou.ID)
+			if !ok {
+				continue
+			}
+			s.markOutgoing(ou.ID, old, affected, touched)
+		default:
+			old := s.net.MoveObject(ou.ID, ou.New)
+			s.markOutgoing(ou.ID, old, affected, touched)
+			s.markIncoming(ou.ID, ou.New, affected, touched)
+		}
+	}
+}
+
+// markOutgoing flags the queries that held the object as a neighbor; the
+// influence list of the object's previous edge bounds the search.
+func (s *monitorSet) markOutgoing(id roadnet.ObjectID, old roadnet.Position, affected map[QueryID]bool, touched map[QueryID][]roadnet.ObjectID) {
+	s.forInfluenced(old.Edge, func(q QueryID) {
+		if s.mons[q].cand.contains(id) {
+			affected[q] = true
+			touched[q] = append(touched[q], id)
+		}
+	})
+}
+
+// markIncoming flags the queries whose influence region now contains the
+// object and records the object as an incomer for them.
+func (s *monitorSet) markIncoming(id roadnet.ObjectID, pos roadnet.Position, affected map[QueryID]bool, touched map[QueryID][]roadnet.ObjectID) {
+	s.forInfluenced(pos.Edge, func(q QueryID) {
+		m := s.mons[q]
+		if m.covers(pos) {
+			affected[q] = true
+			touched[q] = append(touched[q], id)
+		}
+	})
+}
+
+func (s *monitorSet) sizeBytes() int {
+	n := 0
+	for _, m := range s.mons {
+		n += m.sizeBytes()
+	}
+	n += s.il.entries() * (4 + 16)
+	return n
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"roadknn/internal/roadnet"
+)
+
+// OVH is the overhaul baseline of the paper's evaluation (§6): every
+// timestamp it applies the updates and recomputes every query from scratch
+// with the Figure-2 algorithm. Figure 2 includes the influence-list writes
+// (lines 10 and 28), so OVH maintains the edge table's influence lists like
+// the original — it just never exploits them.
+type OVH struct {
+	net  *roadnet.Network
+	il   *ilTable
+	mons map[QueryID]*monitor
+}
+
+// NewOVH creates an OVH engine over net.
+func NewOVH(net *roadnet.Network) *OVH {
+	return &OVH{
+		net:  net,
+		il:   newILTable(net.G.NumEdges()),
+		mons: make(map[QueryID]*monitor),
+	}
+}
+
+// Name implements Engine.
+func (e *OVH) Name() string { return "OVH" }
+
+// Network implements Engine.
+func (e *OVH) Network() *roadnet.Network { return e.net }
+
+// Register implements Engine.
+func (e *OVH) Register(id QueryID, pos roadnet.Position, k int) {
+	if _, dup := e.mons[id]; dup {
+		panic("core: query already registered")
+	}
+	m := newMonitor(e.net, e.il, id, pos, k)
+	e.mons[id] = m
+	m.computeInitial()
+}
+
+// Unregister implements Engine.
+func (e *OVH) Unregister(id QueryID) {
+	if m, ok := e.mons[id]; ok {
+		m.clearIL()
+		delete(e.mons, id)
+	}
+}
+
+// Step implements Engine.
+func (e *OVH) Step(u Updates) {
+	for _, eu := range u.Edges {
+		e.net.G.SetWeight(eu.Edge, eu.NewW)
+	}
+	for _, ou := range u.Objects {
+		switch {
+		case ou.Insert:
+			e.net.AddObject(ou.ID, ou.New)
+		case ou.Delete:
+			e.net.RemoveObject(ou.ID)
+		default:
+			e.net.MoveObject(ou.ID, ou.New)
+		}
+	}
+	for _, qu := range u.Queries {
+		switch {
+		case qu.Delete:
+			e.Unregister(qu.ID)
+		case qu.Insert:
+			m := newMonitor(e.net, e.il, qu.ID, qu.New, qu.K)
+			e.mons[qu.ID] = m
+		default:
+			if m, ok := e.mons[qu.ID]; ok {
+				m.pos = qu.New
+			}
+		}
+	}
+	for _, m := range e.mons {
+		m.computeInitial()
+	}
+}
+
+// Result implements Engine.
+func (e *OVH) Result(id QueryID) []Neighbor {
+	if m, ok := e.mons[id]; ok {
+		return m.result
+	}
+	return nil
+}
+
+// Queries implements Engine.
+func (e *OVH) Queries() []QueryID {
+	out := make([]QueryID, 0, len(e.mons))
+	for id := range e.mons {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SizeBytes implements Engine. OVH stores only the result sets between
+// timestamps.
+func (e *OVH) SizeBytes() int {
+	n := 0
+	for _, m := range e.mons {
+		n += m.cand.len() * 24
+	}
+	return n
+}

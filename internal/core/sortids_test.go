@@ -1,0 +1,28 @@
+package core
+
+import (
+	"sort"
+
+	"roadknn/internal/roadnet"
+)
+
+// sortedObjIDs returns the map's keys in ascending order so that test
+// update streams are deterministic across runs.
+func sortedObjIDs(m map[roadnet.ObjectID]roadnet.Position) []roadnet.ObjectID {
+	out := make([]roadnet.ObjectID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedQryIDs is sortedObjIDs for query ids.
+func sortedQryIDs(m map[QueryID]roadnet.Position) []QueryID {
+	out := make([]QueryID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

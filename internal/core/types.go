@@ -1,0 +1,93 @@
+// Package core implements the paper's monitoring algorithms: the overhaul
+// baseline OVH (recompute every query from scratch each timestamp), the
+// incremental monitoring algorithm IMA (§4) and the group monitoring
+// algorithm GMA (§5). All three are exposed behind the Engine interface so
+// that the experiment harness and the correctness tests can drive them
+// interchangeably.
+package core
+
+import (
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// QueryID identifies a continuous k-NN query.
+type QueryID int32
+
+// Neighbor is one entry of a query result: an object and its network
+// distance from the query.
+type Neighbor struct {
+	Obj  roadnet.ObjectID
+	Dist float64
+}
+
+// ObjectUpdate reports an object location change. Following the paper's
+// protocol the update carries the object id and both coordinates.
+// Insert marks an object appearing in the system (Old ignored); Delete
+// marks one disappearing (New ignored).
+type ObjectUpdate struct {
+	ID       roadnet.ObjectID
+	Old, New roadnet.Position
+	Insert   bool
+	Delete   bool
+}
+
+// QueryUpdate reports a query location change. Insert registers a new
+// query with the given K; Delete terminates it.
+type QueryUpdate struct {
+	ID     QueryID
+	New    roadnet.Position
+	K      int // used on Insert
+	Insert bool
+	Delete bool
+}
+
+// EdgeUpdate reports an edge weight change (e.g. from traffic sensors).
+// Multiple updates for one edge within a timestamp must be pre-aggregated
+// into a single one (paper §4.5); Engines enforce this.
+type EdgeUpdate struct {
+	Edge graph.EdgeID
+	NewW float64
+}
+
+// Updates is the batch of events arriving at one timestamp.
+type Updates struct {
+	Objects []ObjectUpdate
+	Queries []QueryUpdate
+	Edges   []EdgeUpdate
+}
+
+// Engine is a continuous k-NN monitoring algorithm. Implementations own
+// their roadnet.Network (including object registry and edge weights) and
+// mutate it as updates are processed; callers must route all mutations
+// through the engine.
+type Engine interface {
+	// Name returns the algorithm's short name (OVH, IMA, GMA).
+	Name() string
+	// Network returns the engine's underlying network model.
+	Network() *roadnet.Network
+	// Register installs a new continuous query and computes its initial
+	// result. It panics on duplicate ids or non-positive k.
+	Register(id QueryID, pos roadnet.Position, k int)
+	// Unregister terminates a query.
+	Unregister(id QueryID)
+	// Step applies one timestamp's updates and refreshes all results.
+	Step(u Updates)
+	// Result returns the current k-NN set of a query, sorted by ascending
+	// distance (ties by object id). The returned slice must not be
+	// modified and is valid until the next Step call.
+	Result(id QueryID) []Neighbor
+	// Queries returns the ids of the registered queries, in no particular
+	// order.
+	Queries() []QueryID
+	// SizeBytes estimates the memory footprint of the engine's private
+	// bookkeeping structures (expansion trees, influence lists, result
+	// sets), reproducing the measurements of Figure 18.
+	SizeBytes() int
+}
+
+// distEps is the tolerance used when comparing network distances against
+// kNN_dist boundaries: influence tests over-include by distEps so that
+// floating-point jitter can never cause a relevant update to be dropped
+// (over-inclusion only costs a little extra work).
+const distEps = 1e-9

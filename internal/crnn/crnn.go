@@ -1,0 +1,249 @@
+// Package crnn implements continuous reverse nearest neighbor monitoring in
+// road networks — the future-work direction of the paper's §7: given a set
+// of queries (e.g. vacant taxis) and a set of objects (clients), report for
+// each query q the objects that are closer to q than to any other query.
+//
+// The monitor maintains the network Voronoi assignment of objects to
+// queries with a multi-source Dijkstra over the current edge weights: every
+// query seeds the expansion with its own label, each network node ends up
+// labeled with its nearest query, and each object is assigned by comparing
+// its edge's two endpoint labels (plus same-edge queries). This recomputes
+// per timestamp — the natural OVH-style baseline the paper leaves open —
+// but shares all per-timestamp work across every query (one expansion total
+// instead of one per query).
+package crnn
+
+import (
+	"fmt"
+	"math"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/pqueue"
+	"roadknn/internal/roadnet"
+)
+
+// QueryID identifies a reverse-NN query.
+type QueryID int32
+
+// NoQuery labels unreachable nodes/objects.
+const NoQuery QueryID = -1
+
+// Assignment is one object's current nearest query.
+type Assignment struct {
+	Query QueryID
+	Dist  float64
+}
+
+// Monitor continuously maintains, for every object, its nearest query, and
+// therefore for every query its reverse-NN set. It owns the network like
+// the core engines do.
+type Monitor struct {
+	net     *roadnet.Network
+	queries map[QueryID]roadnet.Position
+
+	// per-node nearest query label and distance, rebuilt each Step
+	label []QueryID
+	dist  []float64
+
+	assign map[roadnet.ObjectID]Assignment
+	rnn    map[QueryID][]roadnet.ObjectID
+	heap   *pqueue.Min[graph.NodeID]
+}
+
+// New creates a monitor over net.
+func New(net *roadnet.Network) *Monitor {
+	return &Monitor{
+		net:     net,
+		queries: make(map[QueryID]roadnet.Position),
+		label:   make([]QueryID, net.G.NumNodes()),
+		dist:    make([]float64, net.G.NumNodes()),
+		assign:  make(map[roadnet.ObjectID]Assignment),
+		rnn:     make(map[QueryID][]roadnet.ObjectID),
+		heap:    pqueue.New[graph.NodeID](64),
+	}
+}
+
+// Network returns the underlying network model.
+func (m *Monitor) Network() *roadnet.Network { return m.net }
+
+// Register installs query id at pos. Call Refresh (or Step) afterwards to
+// rebuild the assignment; registration itself is cheap.
+func (m *Monitor) Register(id QueryID, pos roadnet.Position) {
+	if _, dup := m.queries[id]; dup {
+		panic(fmt.Sprintf("crnn: query %d already registered", id))
+	}
+	m.queries[id] = pos
+}
+
+// Unregister removes query id.
+func (m *Monitor) Unregister(id QueryID) {
+	delete(m.queries, id)
+	delete(m.rnn, id)
+}
+
+// ObjectUpdate, QueryUpdate and EdgeUpdate mirror the core package's
+// update protocol.
+type ObjectUpdate struct {
+	ID       roadnet.ObjectID
+	Old, New roadnet.Position
+	Insert   bool
+	Delete   bool
+}
+
+// QueryUpdate moves, installs or terminates a query.
+type QueryUpdate struct {
+	ID     QueryID
+	New    roadnet.Position
+	Insert bool
+	Delete bool
+}
+
+// EdgeUpdate changes an edge weight.
+type EdgeUpdate struct {
+	Edge graph.EdgeID
+	NewW float64
+}
+
+// Updates is one timestamp's batch.
+type Updates struct {
+	Objects []ObjectUpdate
+	Queries []QueryUpdate
+	Edges   []EdgeUpdate
+}
+
+// Step applies one timestamp of updates and rebuilds the reverse-NN sets.
+func (m *Monitor) Step(u Updates) {
+	for _, eu := range u.Edges {
+		m.net.G.SetWeight(eu.Edge, eu.NewW)
+	}
+	for _, ou := range u.Objects {
+		switch {
+		case ou.Insert:
+			m.net.AddObject(ou.ID, ou.New)
+		case ou.Delete:
+			m.net.RemoveObject(ou.ID)
+		default:
+			m.net.MoveObject(ou.ID, ou.New)
+		}
+	}
+	for _, qu := range u.Queries {
+		switch {
+		case qu.Insert:
+			m.Register(qu.ID, qu.New)
+		case qu.Delete:
+			m.Unregister(qu.ID)
+		default:
+			if _, ok := m.queries[qu.ID]; ok {
+				m.queries[qu.ID] = qu.New
+			}
+		}
+	}
+	m.Refresh()
+}
+
+// Refresh rebuilds the network Voronoi assignment from the current state.
+func (m *Monitor) Refresh() {
+	g := m.net.G
+	if len(m.label) != g.NumNodes() {
+		m.label = make([]QueryID, g.NumNodes())
+		m.dist = make([]float64, g.NumNodes())
+	}
+	for i := range m.label {
+		m.label[i] = NoQuery
+		m.dist[i] = math.Inf(1)
+	}
+	m.heap.Reset()
+
+	// Multi-source Dijkstra: seed both endpoints of every query's edge.
+	// Ties at a node resolve to the smaller query id for determinism.
+	type seed struct {
+		d float64
+		q QueryID
+	}
+	seeds := make(map[graph.NodeID]seed, 2*len(m.queries))
+	offer := func(n graph.NodeID, d float64, q QueryID) {
+		if s, ok := seeds[n]; !ok || d < s.d || (d == s.d && q < s.q) {
+			seeds[n] = seed{d, q}
+		}
+	}
+	for qid, pos := range m.queries {
+		e := g.Edge(pos.Edge)
+		offer(e.U, m.net.CostFromU(pos), qid)
+		offer(e.V, m.net.CostFromV(pos), qid)
+	}
+	for n, s := range seeds {
+		m.dist[n] = s.d
+		m.label[n] = s.q
+		m.heap.Push(n, s.d)
+	}
+	for {
+		n, d, ok := m.heap.PopMin()
+		if !ok {
+			break
+		}
+		if d > m.dist[n] {
+			continue
+		}
+		for _, eid := range g.Incident(n) {
+			e := g.Edge(eid)
+			v := e.Other(n)
+			nd := d + e.W
+			if nd < m.dist[v] || (nd == m.dist[v] && m.label[n] < m.label[v]) {
+				m.dist[v] = nd
+				m.label[v] = m.label[n]
+				m.heap.Push(v, nd)
+			}
+		}
+	}
+
+	// Assign every object to its nearest query.
+	clear(m.assign)
+	for q := range m.rnn {
+		m.rnn[q] = m.rnn[q][:0]
+	}
+	sameEdge := make(map[graph.EdgeID][]QueryID, len(m.queries))
+	for qid, pos := range m.queries {
+		sameEdge[pos.Edge] = append(sameEdge[pos.Edge], qid)
+	}
+	m.net.ForEachObject(func(id roadnet.ObjectID, pos roadnet.Position) {
+		e := g.Edge(pos.Edge)
+		best := Assignment{Query: NoQuery, Dist: math.Inf(1)}
+		consider := func(q QueryID, d float64) {
+			if q == NoQuery {
+				return
+			}
+			if d < best.Dist || (d == best.Dist && q < best.Query) {
+				best = Assignment{Query: q, Dist: d}
+			}
+		}
+		consider(m.label[e.U], m.dist[e.U]+pos.Frac*e.W)
+		consider(m.label[e.V], m.dist[e.V]+(1-pos.Frac)*e.W)
+		for _, qid := range sameEdge[pos.Edge] {
+			consider(qid, m.net.ArcCost(pos, m.queries[qid]))
+		}
+		if best.Query != NoQuery {
+			m.assign[id] = best
+			m.rnn[best.Query] = append(m.rnn[best.Query], id)
+		}
+	})
+}
+
+// ReverseNN returns the objects currently closer to query id than to any
+// other query. The slice is owned by the monitor and valid until the next
+// Step/Refresh.
+func (m *Monitor) ReverseNN(id QueryID) []roadnet.ObjectID { return m.rnn[id] }
+
+// NearestQuery returns object id's current nearest query and distance.
+func (m *Monitor) NearestQuery(id roadnet.ObjectID) (Assignment, bool) {
+	a, ok := m.assign[id]
+	return a, ok
+}
+
+// Queries returns the registered query ids.
+func (m *Monitor) Queries() []QueryID {
+	out := make([]QueryID, 0, len(m.queries))
+	for id := range m.queries {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package crnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadknn/internal/gen"
+	"roadknn/internal/geom"
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// pathNet builds a 5-node unit-weight path.
+func pathNet() *roadnet.Network {
+	g := graph.New(5, 4)
+	for i := 0; i < 5; i++ {
+		g.AddNode(geom.Point{X: float64(i)})
+	}
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return roadnet.NewNetwork(g)
+}
+
+func TestReverseNNOnPath(t *testing.T) {
+	net := pathNet()
+	// Objects at x = 0.5, 1.5, 3.5.
+	net.AddObject(1, roadnet.Position{Edge: 0, Frac: 0.5})
+	net.AddObject(2, roadnet.Position{Edge: 1, Frac: 0.5})
+	net.AddObject(3, roadnet.Position{Edge: 3, Frac: 0.5})
+	m := New(net)
+	m.Register(10, roadnet.Position{Edge: 0, Frac: 0.0}) // taxi at x=0
+	m.Register(20, roadnet.Position{Edge: 3, Frac: 1.0}) // taxi at x=4
+	m.Refresh()
+
+	if got := m.ReverseNN(10); len(got) != 2 {
+		t.Fatalf("RNN(10) = %v, want objects 1 and 2", got)
+	}
+	if got := m.ReverseNN(20); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("RNN(20) = %v, want [3]", got)
+	}
+	a, ok := m.NearestQuery(2)
+	if !ok || a.Query != 10 || math.Abs(a.Dist-1.5) > 1e-9 {
+		t.Fatalf("NearestQuery(2) = %+v, %v", a, ok)
+	}
+}
+
+func TestStepMovesShiftAssignments(t *testing.T) {
+	net := pathNet()
+	net.AddObject(1, roadnet.Position{Edge: 1, Frac: 0.5}) // x=1.5
+	m := New(net)
+	m.Register(10, roadnet.Position{Edge: 0, Frac: 0.0})
+	m.Register(20, roadnet.Position{Edge: 3, Frac: 1.0})
+	m.Refresh()
+	if a, _ := m.NearestQuery(1); a.Query != 10 {
+		t.Fatalf("initial owner = %d, want 10", a.Query)
+	}
+	// Taxi 20 drives next to the client.
+	m.Step(Updates{Queries: []QueryUpdate{{ID: 20, New: roadnet.Position{Edge: 1, Frac: 0.6}}}})
+	if a, _ := m.NearestQuery(1); a.Query != 20 {
+		t.Fatalf("after move owner = %d, want 20", a.Query)
+	}
+}
+
+func TestEdgeWeightShiftsVoronoiBoundary(t *testing.T) {
+	net := pathNet()
+	net.AddObject(1, roadnet.Position{Edge: 2, Frac: 0.0}) // x=2, equidistant-ish
+	m := New(net)
+	m.Register(10, roadnet.Position{Edge: 0, Frac: 0.0}) // x=0, dist 2
+	m.Register(20, roadnet.Position{Edge: 3, Frac: 1.0}) // x=4, dist 2
+	m.Refresh()
+	owner0, _ := m.NearestQuery(1)
+	// Congest the left approach: ownership must flip to the right taxi.
+	m.Step(Updates{Edges: []EdgeUpdate{{Edge: 0, NewW: 10}}})
+	owner1, _ := m.NearestQuery(1)
+	if owner1.Query == owner0.Query && owner0.Query == 10 {
+		t.Fatalf("ownership did not flip: %+v -> %+v", owner0, owner1)
+	}
+	if owner1.Query != 20 {
+		t.Fatalf("owner = %d, want 20", owner1.Query)
+	}
+}
+
+func TestNoQueries(t *testing.T) {
+	net := pathNet()
+	net.AddObject(1, roadnet.Position{Edge: 0, Frac: 0.5})
+	m := New(net)
+	m.Refresh()
+	if _, ok := m.NearestQuery(1); ok {
+		t.Fatal("assignment exists with no queries")
+	}
+}
+
+func TestObjectInsertDelete(t *testing.T) {
+	net := pathNet()
+	m := New(net)
+	m.Register(10, roadnet.Position{Edge: 0, Frac: 0.0})
+	m.Step(Updates{Objects: []ObjectUpdate{{ID: 5, New: roadnet.Position{Edge: 2, Frac: 0.5}, Insert: true}}})
+	if got := m.ReverseNN(10); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("RNN after insert = %v", got)
+	}
+	m.Step(Updates{Objects: []ObjectUpdate{{ID: 5, Old: roadnet.Position{Edge: 2, Frac: 0.5}, Delete: true}}})
+	if got := m.ReverseNN(10); len(got) != 0 {
+		t.Fatalf("RNN after delete = %v", got)
+	}
+}
+
+// bruteAssignment computes every object's nearest query by independent
+// per-query Dijkstras (the oracle).
+func bruteAssignment(net *roadnet.Network, queries map[QueryID]roadnet.Position) map[roadnet.ObjectID]Assignment {
+	g := net.G
+	type qd struct {
+		q QueryID
+		d []float64
+	}
+	var all []qd
+	for qid, pos := range queries {
+		e := g.Edge(pos.Edge)
+		dist, _ := g.Dijkstra(
+			[]graph.NodeID{e.U, e.V},
+			[]float64{net.CostFromU(pos), net.CostFromV(pos)},
+			math.Inf(1),
+		)
+		all = append(all, qd{qid, dist})
+	}
+	out := map[roadnet.ObjectID]Assignment{}
+	net.ForEachObject(func(id roadnet.ObjectID, pos roadnet.Position) {
+		e := g.Edge(pos.Edge)
+		best := Assignment{Query: NoQuery, Dist: math.Inf(1)}
+		for _, c := range all {
+			d := math.Min(c.d[e.U]+pos.Frac*e.W, c.d[e.V]+(1-pos.Frac)*e.W)
+			if qp := queries[c.q]; qp.Edge == pos.Edge {
+				if direct := math.Abs(qp.Frac-pos.Frac) * e.W; direct < d {
+					d = direct
+				}
+			}
+			if d < best.Dist || (d == best.Dist && c.q < best.Query) {
+				best = Assignment{Query: c.q, Dist: d}
+			}
+		}
+		if best.Query != NoQuery {
+			out[id] = best
+		}
+	})
+	return out
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		net := roadnet.NewNetwork(gen.SanFranciscoLike(120, int64(trial)))
+		m := New(net)
+		queries := map[QueryID]roadnet.Position{}
+		for q := 0; q < 5; q++ {
+			pos := net.UniformPosition(rng)
+			queries[QueryID(q)] = pos
+			m.Register(QueryID(q), pos)
+		}
+		for o := 0; o < 40; o++ {
+			net.AddObject(roadnet.ObjectID(o), net.UniformPosition(rng))
+		}
+		for ts := 0; ts < 5; ts++ {
+			var u Updates
+			for o := 0; o < 40; o++ {
+				if rng.Float64() < 0.3 {
+					id := roadnet.ObjectID(o)
+					old, _ := net.ObjectPos(id)
+					u.Objects = append(u.Objects, ObjectUpdate{
+						ID: id, Old: old,
+						New: net.RandomWalk(old, rng.Float64()*2, 0, rng),
+					})
+				}
+			}
+			for q := range queries {
+				if rng.Float64() < 0.3 {
+					np := net.RandomWalk(queries[q], rng.Float64()*2, 0, rng)
+					queries[q] = np
+					u.Queries = append(u.Queries, QueryUpdate{ID: q, New: np})
+				}
+			}
+			for i := 0; i < 5; i++ {
+				eid := graph.EdgeID(rng.Intn(net.G.NumEdges()))
+				u.Edges = append(u.Edges, EdgeUpdate{Edge: eid, NewW: net.G.Edge(eid).W * 1.1})
+			}
+			m.Step(u)
+
+			want := bruteAssignment(net, queries)
+			for o := 0; o < 40; o++ {
+				id := roadnet.ObjectID(o)
+				got, ok := m.NearestQuery(id)
+				w, wok := want[id]
+				if ok != wok {
+					t.Fatalf("trial %d ts %d obj %d: presence mismatch", trial, ts, o)
+				}
+				if !ok {
+					continue
+				}
+				if math.Abs(got.Dist-w.Dist) > 1e-9 {
+					t.Fatalf("trial %d ts %d obj %d: dist %g want %g (owner %d vs %d)",
+						trial, ts, o, got.Dist, w.Dist, got.Query, w.Query)
+				}
+			}
+			// Reverse sets must partition exactly the assigned objects.
+			n := 0
+			for _, q := range m.Queries() {
+				n += len(m.ReverseNN(q))
+			}
+			if n != len(want) {
+				t.Fatalf("trial %d ts %d: RNN sets cover %d objects, want %d", trial, ts, n, len(want))
+			}
+		}
+	}
+}

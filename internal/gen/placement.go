@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"math/rand"
+
+	"roadknn/internal/geom"
+	"roadknn/internal/roadnet"
+)
+
+// Distribution selects how initial object/query positions are drawn
+// (Table 2 of the paper).
+type Distribution int
+
+const (
+	// Uniform draws a uniformly random edge and a uniform fraction on it.
+	Uniform Distribution = iota
+	// Gaussian draws workspace coordinates from a normal distribution
+	// centered at the workspace center and snaps them onto the network.
+	// The paper uses standard deviation 10% of the maximum network distance
+	// from the center for queries and 50% for Gaussian objects; callers
+	// pass the desired fraction via Place.
+	Gaussian
+)
+
+// String returns the distribution name as used in Figure 17(a) labels.
+func (d Distribution) String() string {
+	if d == Uniform {
+		return "Uniform"
+	}
+	return "Gaussian"
+}
+
+// Place draws n initial positions from the given distribution. sigmaFrac is
+// the Gaussian standard deviation as a fraction of the workspace extent
+// (ignored for Uniform).
+func Place(n *roadnet.Network, count int, d Distribution, sigmaFrac float64, rng *rand.Rand) []roadnet.Position {
+	out := make([]roadnet.Position, count)
+	switch d {
+	case Uniform:
+		for i := range out {
+			out[i] = n.UniformPosition(rng)
+		}
+	case Gaussian:
+		b := n.SI.Bounds()
+		c := b.Center()
+		ext := b.Width()
+		if b.Height() > ext {
+			ext = b.Height()
+		}
+		sigma := sigmaFrac * ext
+		for i := range out {
+			pt := geom.Point{
+				X: c.X + rng.NormFloat64()*sigma,
+				Y: c.Y + rng.NormFloat64()*sigma,
+			}
+			pos, ok := n.Snap(pt)
+			if !ok {
+				pos = n.UniformPosition(rng)
+			}
+			out[i] = pos
+		}
+	}
+	return out
+}

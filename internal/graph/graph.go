@@ -1,0 +1,289 @@
+// Package graph defines the road-network graph: nodes with coordinates and
+// weighted edges with adjacency. Edges are bidirectional by default (the
+// paper's setting); unidirectional edges are supported as an extension.
+//
+// The package also provides a textbook Dijkstra implementation that the rest
+// of the repository uses as a correctness oracle for the incremental
+// algorithms.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"roadknn/internal/geom"
+	"roadknn/internal/pqueue"
+)
+
+// NodeID identifies a node. IDs are dense indices assigned by AddNode.
+type NodeID int32
+
+// EdgeID identifies an edge. IDs are dense indices assigned by AddEdge.
+type EdgeID int32
+
+// NoNode is the sentinel for "no node" (e.g. the root of a shortest-path tree).
+const NoNode NodeID = -1
+
+// NoEdge is the sentinel for "no edge".
+const NoEdge EdgeID = -1
+
+// Node is a network vertex placed in the 2-D workspace.
+type Node struct {
+	ID NodeID
+	Pt geom.Point
+}
+
+// Edge is a weighted road segment between two nodes. The weight models
+// travel cost (e.g. time or length) and may change over time; Length is the
+// immutable geometric length used for positioning objects along the edge.
+//
+// When Directed is true the edge can only be traversed from U to V.
+type Edge struct {
+	ID       EdgeID
+	U, V     NodeID
+	W        float64 // current weight (travel cost), > 0
+	Length   float64 // Euclidean length of the segment, fixed at creation
+	Directed bool
+}
+
+// Other returns the endpoint of e opposite to n.
+// It panics if n is not an endpoint of e.
+func (e *Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", n, e.ID))
+}
+
+// HasEndpoint reports whether n is one of e's endpoints.
+func (e *Edge) HasEndpoint(n NodeID) bool { return n == e.U || n == e.V }
+
+// Graph is a mutable road network. The zero value is an empty graph ready
+// for use. Graph is not safe for concurrent mutation.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	adj   [][]EdgeID // incident edge ids per node
+}
+
+// New returns an empty graph with capacity hints.
+func New(nodeHint, edgeHint int) *Graph {
+	return &Graph{
+		nodes: make([]Node, 0, nodeHint),
+		edges: make([]Edge, 0, edgeHint),
+		adj:   make([][]EdgeID, 0, nodeHint),
+	}
+}
+
+// AddNode inserts a node at pt and returns its id.
+func (g *Graph) AddNode(pt geom.Point) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Pt: pt})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddEdge inserts a bidirectional edge between u and v with weight w and
+// returns its id. The geometric length is the Euclidean distance between
+// the endpoints. It panics on invalid endpoints or non-positive weight.
+func (g *Graph) AddEdge(u, v NodeID, w float64) EdgeID {
+	return g.addEdge(u, v, w, false)
+}
+
+// AddDirectedEdge inserts an edge traversable only from u to v.
+func (g *Graph) AddDirectedEdge(u, v NodeID, w float64) EdgeID {
+	return g.addEdge(u, v, w, true)
+}
+
+func (g *Graph) addEdge(u, v NodeID, w float64, directed bool) EdgeID {
+	if !g.validNode(u) || !g.validNode(v) {
+		panic(fmt.Sprintf("graph: AddEdge with invalid endpoint %d-%d", u, v))
+	}
+	if u == v {
+		panic("graph: self-loop edges are not supported")
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: AddEdge with invalid weight %g", w))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{
+		ID: id, U: u, V: v, W: w,
+		Length:   g.nodes[u].Pt.Dist(g.nodes[v].Pt),
+		Directed: directed,
+	})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id)
+	return id
+}
+
+func (g *Graph) validNode(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes) }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// Incident returns the ids of edges incident to n. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Incident(n NodeID) []EdgeID { return g.adj[n] }
+
+// Degree returns the number of edges incident to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// SetWeight updates the weight of edge id. It panics on invalid weights.
+func (g *Graph) SetWeight(id EdgeID, w float64) {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: SetWeight with invalid weight %g", w))
+	}
+	g.edges[id].W = w
+}
+
+// Segment returns the geometry of edge id.
+func (g *Graph) Segment(id EdgeID) geom.Segment {
+	e := &g.edges[id]
+	return geom.Segment{A: g.nodes[e.U].Pt, B: g.nodes[e.V].Pt}
+}
+
+// Bounds returns the bounding rectangle of all nodes. An empty graph yields
+// the zero Rect.
+func (g *Graph) Bounds() geom.Rect {
+	if len(g.nodes) == 0 {
+		return geom.Rect{}
+	}
+	r := geom.Rect{Min: g.nodes[0].Pt, Max: g.nodes[0].Pt}
+	for _, n := range g.nodes[1:] {
+		r.Min.X = math.Min(r.Min.X, n.Pt.X)
+		r.Min.Y = math.Min(r.Min.Y, n.Pt.Y)
+		r.Max.X = math.Max(r.Max.X, n.Pt.X)
+		r.Max.Y = math.Max(r.Max.Y, n.Pt.Y)
+	}
+	return r
+}
+
+// Validate checks structural invariants (endpoint validity, adjacency
+// consistency, positive weights) and returns the first violation found.
+func (g *Graph) Validate() error {
+	for i := range g.edges {
+		e := &g.edges[i]
+		if !g.validNode(e.U) || !g.validNode(e.V) {
+			return fmt.Errorf("edge %d has invalid endpoint", e.ID)
+		}
+		if e.W <= 0 {
+			return fmt.Errorf("edge %d has non-positive weight %g", e.ID, e.W)
+		}
+		if !containsEdge(g.adj[e.U], e.ID) || !containsEdge(g.adj[e.V], e.ID) {
+			return fmt.Errorf("edge %d missing from endpoint adjacency", e.ID)
+		}
+	}
+	for n, ids := range g.adj {
+		for _, id := range ids {
+			if id < 0 || int(id) >= len(g.edges) {
+				return fmt.Errorf("node %d lists invalid edge %d", n, id)
+			}
+			if !g.edges[id].HasEndpoint(NodeID(n)) {
+				return fmt.Errorf("node %d lists non-incident edge %d", n, id)
+			}
+		}
+	}
+	return nil
+}
+
+func containsEdge(ids []EdgeID, id EdgeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnectedComponents returns the component index of every node and the
+// number of components, treating all edges as bidirectional.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, len(g.nodes))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []NodeID
+	n := 0
+	for start := range g.nodes {
+		if comp[start] != -1 {
+			continue
+		}
+		stack = append(stack[:0], NodeID(start))
+		comp[start] = n
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, eid := range g.adj[u] {
+				v := g.edges[eid].Other(u)
+				if comp[v] == -1 {
+					comp[v] = n
+					stack = append(stack, v)
+				}
+			}
+		}
+		n++
+	}
+	return comp, n
+}
+
+// Dijkstra computes shortest-path distances from every source node, seeded
+// with the given initial distances, to all nodes within maxDist. Distances
+// for unreachable nodes (or nodes beyond maxDist) are +Inf. Pass
+// math.Inf(1) as maxDist for an unbounded search.
+//
+// The returned parent slice gives the predecessor node on a shortest path
+// (NoNode for sources and unreached nodes).
+func (g *Graph) Dijkstra(sources []NodeID, seed []float64, maxDist float64) (dist []float64, parent []NodeID) {
+	dist = make([]float64, len(g.nodes))
+	parent = make([]NodeID, len(g.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = NoNode
+	}
+	q := pqueue.New[NodeID](len(sources) * 4)
+	for i, s := range sources {
+		d := 0.0
+		if seed != nil {
+			d = seed[i]
+		}
+		if d < dist[s] {
+			dist[s] = d
+			q.Push(s, d)
+		}
+	}
+	for q.Len() > 0 {
+		u, du, _ := q.PopMin()
+		if du > dist[u] {
+			continue
+		}
+		if du > maxDist {
+			break
+		}
+		for _, eid := range g.adj[u] {
+			e := &g.edges[eid]
+			if e.Directed && e.U != u {
+				continue
+			}
+			v := e.Other(u)
+			nd := du + e.W
+			if nd <= maxDist && nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				q.Push(v, nd)
+			}
+		}
+	}
+	return dist, parent
+}

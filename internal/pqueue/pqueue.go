@@ -1,0 +1,150 @@
+// Package pqueue implements an indexed binary min-heap with decrease-key,
+// the priority queue underlying every Dijkstra-style network expansion in
+// this repository. Items are identified by a comparable key so that a
+// pending item's priority can be lowered in O(log n) when a shorter path to
+// it is discovered.
+package pqueue
+
+// Min is an indexed min-heap of items of type K ordered by float64 priority.
+// The zero value is not usable; call New.
+type Min[K comparable] struct {
+	keys  []K
+	prio  []float64
+	index map[K]int // key -> position in keys/prio
+}
+
+// New returns an empty queue with capacity hint n.
+func New[K comparable](n int) *Min[K] {
+	return &Min[K]{
+		keys:  make([]K, 0, n),
+		prio:  make([]float64, 0, n),
+		index: make(map[K]int, n),
+	}
+}
+
+// Len returns the number of queued items.
+func (q *Min[K]) Len() int { return len(q.keys) }
+
+// Contains reports whether key is currently queued.
+func (q *Min[K]) Contains(key K) bool {
+	_, ok := q.index[key]
+	return ok
+}
+
+// Priority returns the priority of key and whether it is queued.
+func (q *Min[K]) Priority(key K) (float64, bool) {
+	i, ok := q.index[key]
+	if !ok {
+		return 0, false
+	}
+	return q.prio[i], true
+}
+
+// Push inserts key with the given priority. If key is already queued, its
+// priority is lowered to p when p is smaller (decrease-key); a larger p is
+// ignored. It reports whether the queue was modified.
+func (q *Min[K]) Push(key K, p float64) bool {
+	if i, ok := q.index[key]; ok {
+		if p < q.prio[i] {
+			q.prio[i] = p
+			q.up(i)
+			return true
+		}
+		return false
+	}
+	q.keys = append(q.keys, key)
+	q.prio = append(q.prio, p)
+	i := len(q.keys) - 1
+	q.index[key] = i
+	q.up(i)
+	return true
+}
+
+// PeekMin returns the minimum item without removing it.
+// ok is false when the queue is empty.
+func (q *Min[K]) PeekMin() (key K, p float64, ok bool) {
+	if len(q.keys) == 0 {
+		return key, 0, false
+	}
+	return q.keys[0], q.prio[0], true
+}
+
+// PopMin removes and returns the minimum item.
+// ok is false when the queue is empty.
+func (q *Min[K]) PopMin() (key K, p float64, ok bool) {
+	if len(q.keys) == 0 {
+		return key, 0, false
+	}
+	key, p = q.keys[0], q.prio[0]
+	last := len(q.keys) - 1
+	q.swap(0, last)
+	q.keys = q.keys[:last]
+	q.prio = q.prio[:last]
+	delete(q.index, key)
+	if last > 0 {
+		q.down(0)
+	}
+	return key, p, true
+}
+
+// Remove deletes key from the queue if present and reports whether it was.
+func (q *Min[K]) Remove(key K) bool {
+	i, ok := q.index[key]
+	if !ok {
+		return false
+	}
+	last := len(q.keys) - 1
+	q.swap(i, last)
+	q.keys = q.keys[:last]
+	q.prio = q.prio[:last]
+	delete(q.index, key)
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	return true
+}
+
+// Reset empties the queue, retaining allocated capacity.
+func (q *Min[K]) Reset() {
+	q.keys = q.keys[:0]
+	q.prio = q.prio[:0]
+	clear(q.index)
+}
+
+func (q *Min[K]) swap(i, j int) {
+	q.keys[i], q.keys[j] = q.keys[j], q.keys[i]
+	q.prio[i], q.prio[j] = q.prio[j], q.prio[i]
+	q.index[q.keys[i]] = i
+	q.index[q.keys[j]] = j
+}
+
+func (q *Min[K]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.prio[parent] <= q.prio[i] {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Min[K]) down(i int) {
+	n := len(q.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.prio[l] < q.prio[small] {
+			small = l
+		}
+		if r < n && q.prio[r] < q.prio[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,183 @@
+package pqueue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New[int](4)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("PopMin on empty queue returned ok")
+	}
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty queue returned ok")
+	}
+	if q.Remove(7) {
+		t.Fatal("Remove on empty queue returned true")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[string](4)
+	q.Push("c", 3)
+	q.Push("a", 1)
+	q.Push("b", 2)
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		k, _, ok := q.PopMin()
+		if !ok || k != w {
+			t.Fatalf("PopMin = %q, want %q", k, w)
+		}
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	q := New[int](4)
+	q.Push(1, 10)
+	q.Push(2, 5)
+	if !q.Push(1, 1) {
+		t.Fatal("decrease-key was rejected")
+	}
+	if p, ok := q.Priority(1); !ok || p != 1 {
+		t.Fatalf("Priority(1) = %v, %v; want 1, true", p, ok)
+	}
+	k, p, _ := q.PopMin()
+	if k != 1 || p != 1 {
+		t.Fatalf("PopMin = (%d,%g), want (1,1)", k, p)
+	}
+}
+
+func TestIncreaseKeyIgnored(t *testing.T) {
+	q := New[int](4)
+	q.Push(1, 1)
+	if q.Push(1, 5) {
+		t.Fatal("increase-key modified the queue")
+	}
+	if p, _ := q.Priority(1); p != 1 {
+		t.Fatalf("priority changed to %g", p)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 8; i++ {
+		q.Push(i, float64(8-i))
+	}
+	if !q.Remove(0) { // priority 8, max element
+		t.Fatal("Remove(0) failed")
+	}
+	if q.Remove(0) {
+		t.Fatal("second Remove(0) succeeded")
+	}
+	if q.Contains(0) {
+		t.Fatal("queue still contains removed key")
+	}
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", q.Len())
+	}
+	// Remaining elements must still come out in sorted order.
+	prev := -1.0
+	for q.Len() > 0 {
+		_, p, _ := q.PopMin()
+		if p < prev {
+			t.Fatalf("heap order violated: %g after %g", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New[int](4)
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Reset()
+	if q.Len() != 0 || q.Contains(1) {
+		t.Fatal("Reset did not empty the queue")
+	}
+	q.Push(3, 3)
+	if k, _, _ := q.PopMin(); k != 3 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+// TestRandomAgainstSort drives the queue with random pushes and decrease-keys
+// and checks the pop sequence equals sorting the final priorities.
+func TestRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		q := New[int](16)
+		final := map[int]float64{}
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			key := rng.Intn(50)
+			p := rng.Float64() * 100
+			if cur, ok := final[key]; !ok || p < cur {
+				final[key] = p
+			}
+			q.Push(key, p)
+		}
+		want := make([]float64, 0, len(final))
+		for _, p := range final {
+			want = append(want, p)
+		}
+		sort.Float64s(want)
+		got := make([]float64, 0, q.Len())
+		for q.Len() > 0 {
+			_, p, _ := q.PopMin()
+			got = append(got, p)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: popped %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuickHeapProperty checks via testing/quick that for arbitrary inputs
+// the queue pops priorities in non-decreasing order.
+func TestQuickHeapProperty(t *testing.T) {
+	f := func(prios []float64) bool {
+		q := New[int](len(prios))
+		for i, p := range prios {
+			q.Push(i, p)
+		}
+		prev := math.Inf(-1)
+		for q.Len() > 0 {
+			_, p, _ := q.PopMin()
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := New[int](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i&1023, rng.Float64())
+		if q.Len() > 512 {
+			q.PopMin()
+		}
+	}
+}

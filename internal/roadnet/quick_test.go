@@ -1,0 +1,155 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadknn/internal/geom"
+	"roadknn/internal/graph"
+)
+
+// TestQuickObjectRegistryConsistency drives the object registry with random
+// add/move/remove sequences and checks the two views (position map and
+// per-edge lists with cached fractions) stay exactly consistent.
+func TestQuickObjectRegistryConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		g := gridForQuick(4 + rng.Intn(3))
+		n := NewNetwork(g)
+		live := map[ObjectID]Position{}
+		next := ObjectID(0)
+
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(3) {
+			case 0: // add
+				pos := n.UniformPosition(rng)
+				n.AddObject(next, pos)
+				live[next] = pos
+				next++
+			case 1: // move a random live object
+				if len(live) == 0 {
+					continue
+				}
+				id := randomKey(live, rng)
+				pos := n.UniformPosition(rng)
+				n.MoveObject(id, pos)
+				live[id] = pos
+			case 2: // remove
+				if len(live) == 0 {
+					continue
+				}
+				id := randomKey(live, rng)
+				got, ok := n.RemoveObject(id)
+				if !ok || got != live[id] {
+					t.Fatalf("trial %d: RemoveObject(%d) = %v, %v; want %v", trial, id, got, ok, live[id])
+				}
+				delete(live, id)
+			}
+		}
+
+		if n.NumObjects() != len(live) {
+			t.Fatalf("trial %d: NumObjects %d, want %d", trial, n.NumObjects(), len(live))
+		}
+		// Every live object must appear exactly once in its edge's list,
+		// with the cached fraction matching the registry.
+		seen := map[ObjectID]int{}
+		for e := 0; e < g.NumEdges(); e++ {
+			for _, oe := range n.ObjectsOn(graph.EdgeID(e)) {
+				seen[oe.ID]++
+				want, ok := live[oe.ID]
+				if !ok {
+					t.Fatalf("trial %d: dead object %d in edge list", trial, oe.ID)
+				}
+				if want.Edge != graph.EdgeID(e) || want.Frac != oe.Frac {
+					t.Fatalf("trial %d: object %d cached %v on edge %d, registry %v",
+						trial, oe.ID, oe.Frac, e, want)
+				}
+			}
+		}
+		for id := range live {
+			if seen[id] != 1 {
+				t.Fatalf("trial %d: object %d appears %d times in edge lists", trial, id, seen[id])
+			}
+		}
+	}
+}
+
+func randomKey(m map[ObjectID]Position, rng *rand.Rand) ObjectID {
+	ids := make([]ObjectID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	// Deterministic order before random pick.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+func gridForQuick(k int) *graph.Graph {
+	g := graph.New(k*k, 2*k*k)
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			g.AddNode(geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*k + x) }
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			if x+1 < k {
+				g.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < k {
+				g.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	return g
+}
+
+// TestQuickRandomWalkDistance checks that within a single edge the walk
+// advances by exactly the requested geometric distance.
+func TestQuickRandomWalkDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := gridForQuick(5)
+	n := NewNetwork(g)
+	for trial := 0; trial < 500; trial++ {
+		pos := n.UniformPosition(rng)
+		e := g.Edge(pos.Edge)
+		// Stay within the edge: distance smaller than the gap to both ends.
+		gapU := pos.Frac * e.Length
+		gapV := (1 - pos.Frac) * e.Length
+		d := rng.Float64() * 0.9 * minF(gapU, gapV)
+		if d <= 0 {
+			continue
+		}
+		dir := 1
+		if rng.Intn(2) == 0 {
+			dir = -1
+		}
+		np := n.RandomWalk(pos, d, dir, rng)
+		if np.Edge != pos.Edge {
+			t.Fatalf("trial %d: left the edge for a within-edge walk", trial)
+		}
+		moved := absF(np.Frac-pos.Frac) * e.Length
+		if absF(moved-d) > 1e-9 {
+			t.Fatalf("trial %d: moved %g, want %g", trial, moved, d)
+		}
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absF(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,320 @@
+// Package roadnet provides the runtime road-network model used by the
+// monitoring server: the graph (nodes, edges, fluctuating weights), the
+// spatial index SI for coordinate-to-edge lookup, the per-edge object lists
+// of the paper's edge table ET, positions of objects/queries along edges,
+// network-constrained random walks, and the sequence decomposition needed by
+// the group monitoring algorithm (GMA).
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"roadknn/internal/geom"
+	"roadknn/internal/graph"
+	"roadknn/internal/quadtree"
+)
+
+// ObjectID identifies a data object (e.g. a pedestrian or taxi).
+type ObjectID int32
+
+// Position locates a point on the network: a fraction Frac in [0,1] along
+// edge Edge, measured from the edge's U endpoint. Distances along an edge
+// are proportional to the edge weight: a point at Frac f is f*W from U in
+// travel cost, and f*Length from U geometrically.
+type Position struct {
+	Edge graph.EdgeID
+	Frac float64
+}
+
+// Network is the runtime model: graph + spatial index + object registry.
+// It is not safe for concurrent mutation.
+type Network struct {
+	G  *graph.Graph
+	SI *quadtree.Tree
+
+	objPos  map[ObjectID]Position
+	edgeObj [][]ObjectEntry // objects per edge, unordered
+}
+
+// ObjectEntry is an object stored in an edge's object list, with its
+// fraction along the edge duplicated so that network expansions can scan
+// edge lists without per-object map lookups.
+type ObjectEntry struct {
+	ID   ObjectID
+	Frac float64
+}
+
+// NewNetwork wraps g with a spatial index and empty object registry.
+// The graph should be fully constructed (nodes and edges) before wrapping;
+// edges added later are not indexed.
+func NewNetwork(g *graph.Graph) *Network {
+	b := g.Bounds().Expand(1e-9)
+	si := quadtree.New(b)
+	for i := 0; i < g.NumEdges(); i++ {
+		si.Insert(int32(i), g.Segment(graph.EdgeID(i)))
+	}
+	return &Network{
+		G:       g,
+		SI:      si,
+		objPos:  make(map[ObjectID]Position),
+		edgeObj: make([][]ObjectEntry, g.NumEdges()),
+	}
+}
+
+// Point returns the workspace coordinates of pos.
+func (n *Network) Point(pos Position) geom.Point {
+	return n.G.Segment(pos.Edge).At(pos.Frac)
+}
+
+// Snap returns the network position closest (in Euclidean distance) to pt.
+// ok is false only for an edgeless network.
+func (n *Network) Snap(pt geom.Point) (Position, bool) {
+	id, _, ok := n.SI.Nearest(pt)
+	if !ok {
+		return Position{}, false
+	}
+	eid := graph.EdgeID(id)
+	return Position{Edge: eid, Frac: n.G.Segment(eid).ClosestFrac(pt)}, true
+}
+
+// Locate returns the position of pt assuming pt lies (almost) exactly on
+// some edge: it first checks the candidates of the covering quadtree leaf
+// and falls back to Snap. This mirrors the paper's use of SI to identify
+// the edge containing an object from an update's coordinates.
+func (n *Network) Locate(pt geom.Point) (Position, bool) {
+	const eps = 1e-9
+	bestD := math.Inf(1)
+	var best Position
+	for _, id := range n.SI.Candidates(pt) {
+		eid := graph.EdgeID(id)
+		s := n.G.Segment(eid)
+		f := s.ClosestFrac(pt)
+		if d := s.At(f).Dist(pt); d < bestD {
+			bestD = d
+			best = Position{Edge: eid, Frac: f}
+		}
+	}
+	if bestD <= eps {
+		return best, true
+	}
+	return n.Snap(pt)
+}
+
+// CostFromU returns the travel cost from edge's U endpoint to pos.
+func (n *Network) CostFromU(pos Position) float64 {
+	return pos.Frac * n.G.Edge(pos.Edge).W
+}
+
+// CostFromV returns the travel cost from edge's V endpoint to pos.
+func (n *Network) CostFromV(pos Position) float64 {
+	return (1 - pos.Frac) * n.G.Edge(pos.Edge).W
+}
+
+// CostFrom returns the travel cost from endpoint node to pos; node must be
+// an endpoint of pos.Edge.
+func (n *Network) CostFrom(node graph.NodeID, pos Position) float64 {
+	e := n.G.Edge(pos.Edge)
+	switch node {
+	case e.U:
+		return n.CostFromU(pos)
+	case e.V:
+		return n.CostFromV(pos)
+	}
+	panic(fmt.Sprintf("roadnet: node %d not an endpoint of edge %d", node, pos.Edge))
+}
+
+// ArcCost returns the travel cost between two positions on the same edge.
+// It panics when the positions are on different edges.
+func (n *Network) ArcCost(a, b Position) float64 {
+	if a.Edge != b.Edge {
+		panic("roadnet: ArcCost across edges")
+	}
+	return math.Abs(a.Frac-b.Frac) * n.G.Edge(a.Edge).W
+}
+
+// AddObject registers object id at pos. Re-adding an existing id panics.
+func (n *Network) AddObject(id ObjectID, pos Position) {
+	if _, dup := n.objPos[id]; dup {
+		panic(fmt.Sprintf("roadnet: object %d already registered", id))
+	}
+	n.objPos[id] = pos
+	n.edgeObj[pos.Edge] = append(n.edgeObj[pos.Edge], ObjectEntry{ID: id, Frac: pos.Frac})
+}
+
+// RemoveObject unregisters object id and returns its last position.
+func (n *Network) RemoveObject(id ObjectID) (Position, bool) {
+	pos, ok := n.objPos[id]
+	if !ok {
+		return Position{}, false
+	}
+	delete(n.objPos, id)
+	n.removeFromEdge(id, pos.Edge)
+	return pos, true
+}
+
+// MoveObject updates object id to pos and returns its previous position.
+// Moving an unknown object panics: updates carry old coordinates in the
+// paper's protocol, so an unknown id indicates upstream corruption.
+func (n *Network) MoveObject(id ObjectID, pos Position) Position {
+	old, ok := n.objPos[id]
+	if !ok {
+		panic(fmt.Sprintf("roadnet: MoveObject of unknown object %d", id))
+	}
+	if old.Edge != pos.Edge {
+		n.removeFromEdge(id, old.Edge)
+		n.edgeObj[pos.Edge] = append(n.edgeObj[pos.Edge], ObjectEntry{ID: id, Frac: pos.Frac})
+	} else {
+		list := n.edgeObj[pos.Edge]
+		for i := range list {
+			if list[i].ID == id {
+				list[i].Frac = pos.Frac
+				break
+			}
+		}
+	}
+	n.objPos[id] = pos
+	return old
+}
+
+func (n *Network) removeFromEdge(id ObjectID, e graph.EdgeID) {
+	list := n.edgeObj[e]
+	for i := range list {
+		if list[i].ID == id {
+			list[i] = list[len(list)-1]
+			n.edgeObj[e] = list[:len(list)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("roadnet: object %d missing from edge %d list", id, e))
+}
+
+// ObjectPos returns the position of object id.
+func (n *Network) ObjectPos(id ObjectID) (Position, bool) {
+	p, ok := n.objPos[id]
+	return p, ok
+}
+
+// ObjectsOn returns the objects currently on edge e with their fractions.
+// The returned slice is owned by the network and must not be modified.
+func (n *Network) ObjectsOn(e graph.EdgeID) []ObjectEntry { return n.edgeObj[e] }
+
+// NumObjects returns the number of registered objects.
+func (n *Network) NumObjects() int { return len(n.objPos) }
+
+// ForEachObject calls fn for every registered object.
+func (n *Network) ForEachObject(fn func(ObjectID, Position)) {
+	for id, pos := range n.objPos {
+		fn(id, pos)
+	}
+}
+
+// AvgEdgeLength returns the mean geometric edge length, the unit in which
+// the paper expresses object and query speeds.
+func (n *Network) AvgEdgeLength() float64 {
+	m := n.G.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		sum += n.G.Edge(graph.EdgeID(i)).Length
+	}
+	return sum / float64(m)
+}
+
+// RandSource is the subset of math/rand used by the walk, so tests can
+// substitute deterministic sources.
+type RandSource interface {
+	Intn(n int) int
+	Float64() float64
+}
+
+// RandomWalk advances pos by the given geometric distance performing a
+// random walk: within an edge it moves toward the chosen endpoint; at nodes
+// it picks a random incident edge, avoiding an immediate U-turn unless the
+// node is a dead end. dir is the initial direction (+1 toward V, -1 toward
+// U); pass 0 to choose randomly. It returns the final position.
+func (n *Network) RandomWalk(pos Position, distance float64, dir int, rng RandSource) Position {
+	if dir == 0 {
+		if rng.Intn(2) == 0 {
+			dir = -1
+		} else {
+			dir = 1
+		}
+	}
+	const maxSteps = 1 << 16 // defensive bound against zero-length edges
+	for step := 0; distance > 0 && step < maxSteps; step++ {
+		e := n.G.Edge(pos.Edge)
+		length := e.Length
+		if length <= 0 {
+			length = 1e-12
+		}
+		var remain float64 // geometric distance to the endpoint ahead
+		var ahead graph.NodeID
+		if dir > 0 {
+			remain = (1 - pos.Frac) * length
+			ahead = e.V
+		} else {
+			remain = pos.Frac * length
+			ahead = e.U
+		}
+		if distance < remain {
+			delta := distance / length
+			if dir > 0 {
+				pos.Frac += delta
+			} else {
+				pos.Frac -= delta
+			}
+			return clampPos(pos)
+		}
+		distance -= remain
+		// Arrived at node `ahead`; choose the next edge.
+		inc := n.G.Incident(ahead)
+		next := pos.Edge
+		if len(inc) > 1 {
+			for tries := 0; tries < 8; tries++ {
+				cand := inc[rng.Intn(len(inc))]
+				if cand != pos.Edge {
+					next = cand
+					break
+				}
+			}
+			if next == pos.Edge { // unlucky draws; pick deterministically
+				for _, cand := range inc {
+					if cand != pos.Edge {
+						next = cand
+						break
+					}
+				}
+			}
+		}
+		ne := n.G.Edge(next)
+		if ne.U == ahead {
+			pos = Position{Edge: next, Frac: 0}
+			dir = 1
+		} else {
+			pos = Position{Edge: next, Frac: 1}
+			dir = -1
+		}
+	}
+	return clampPos(pos)
+}
+
+func clampPos(p Position) Position {
+	if p.Frac < 0 {
+		p.Frac = 0
+	} else if p.Frac > 1 {
+		p.Frac = 1
+	}
+	return p
+}
+
+// UniformPosition returns a uniformly random position: a uniformly chosen
+// edge and a uniform fraction along it.
+func (n *Network) UniformPosition(rng RandSource) Position {
+	return Position{
+		Edge: graph.EdgeID(rng.Intn(n.G.NumEdges())),
+		Frac: rng.Float64(),
+	}
+}

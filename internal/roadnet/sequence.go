@@ -1,0 +1,143 @@
+package roadnet
+
+import (
+	"fmt"
+
+	"roadknn/internal/graph"
+)
+
+// SeqID identifies a sequence (a maximal path through degree-2 nodes).
+type SeqID int32
+
+// NoSeq is the sentinel for "no sequence".
+const NoSeq SeqID = -1
+
+// Sequence is a path between two nodes whose degrees differ from 2, all of
+// whose intermediate nodes have degree 2 (paper §5). Every edge of the
+// network belongs to exactly one sequence.
+//
+// Edges are ordered from EndA to EndB. Nodes lists the nodes along the path
+// (len(Edges)+1 entries), Nodes[0]==EndA and Nodes[len]==EndB. For a pure
+// cycle of degree-2 nodes, EndA==EndB (an arbitrary node on the cycle).
+type Sequence struct {
+	ID    SeqID
+	EndA  graph.NodeID
+	EndB  graph.NodeID
+	Edges []graph.EdgeID
+	Nodes []graph.NodeID
+}
+
+// Sequences is the sequence decomposition of a network.
+type Sequences struct {
+	Seqs   []Sequence
+	ByEdge []SeqID // edge id -> sequence id
+	// EdgeIndex[e] is the index of edge e within its sequence's Edges.
+	EdgeIndex []int32
+}
+
+// DecomposeSequences partitions all edges of g into sequences.
+//
+// The walk starts at every node of degree != 2 and follows degree-2 chains;
+// leftover edges (pure degree-2 cycles) are broken at an arbitrary node.
+func DecomposeSequences(g *graph.Graph) *Sequences {
+	s := &Sequences{
+		ByEdge:    make([]SeqID, g.NumEdges()),
+		EdgeIndex: make([]int32, g.NumEdges()),
+	}
+	for i := range s.ByEdge {
+		s.ByEdge[i] = NoSeq
+	}
+
+	walk := func(start graph.NodeID, first graph.EdgeID) {
+		id := SeqID(len(s.Seqs))
+		seq := Sequence{ID: id, EndA: start}
+		seq.Nodes = append(seq.Nodes, start)
+		cur := start
+		e := first
+		for {
+			s.ByEdge[e] = id
+			s.EdgeIndex[e] = int32(len(seq.Edges))
+			seq.Edges = append(seq.Edges, e)
+			cur = g.Edge(e).Other(cur)
+			seq.Nodes = append(seq.Nodes, cur)
+			if g.Degree(cur) != 2 || cur == start {
+				break
+			}
+			// Continue through the degree-2 node on the other incident edge.
+			inc := g.Incident(cur)
+			if inc[0] == e {
+				e = inc[1]
+			} else {
+				e = inc[0]
+			}
+			if s.ByEdge[e] != NoSeq {
+				// Cycle closed back onto an already-claimed edge.
+				break
+			}
+		}
+		seq.EndB = cur
+		s.Seqs = append(s.Seqs, seq)
+	}
+
+	for ni := 0; ni < g.NumNodes(); ni++ {
+		n := graph.NodeID(ni)
+		if g.Degree(n) == 2 {
+			continue
+		}
+		for _, e := range g.Incident(n) {
+			if s.ByEdge[e] == NoSeq {
+				walk(n, e)
+			}
+		}
+	}
+	// Remaining unclaimed edges belong to pure degree-2 cycles.
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		e := graph.EdgeID(ei)
+		if s.ByEdge[e] == NoSeq {
+			walk(g.Edge(e).U, e)
+		}
+	}
+	return s
+}
+
+// Of returns the sequence containing edge e.
+func (s *Sequences) Of(e graph.EdgeID) *Sequence { return &s.Seqs[s.ByEdge[e]] }
+
+// Validate checks that the decomposition is a partition consistent with g.
+func (s *Sequences) Validate(g *graph.Graph) error {
+	seen := make([]bool, g.NumEdges())
+	for si := range s.Seqs {
+		seq := &s.Seqs[si]
+		if len(seq.Nodes) != len(seq.Edges)+1 {
+			return fmt.Errorf("sequence %d: %d nodes for %d edges", si, len(seq.Nodes), len(seq.Edges))
+		}
+		if seq.Nodes[0] != seq.EndA || seq.Nodes[len(seq.Nodes)-1] != seq.EndB {
+			return fmt.Errorf("sequence %d: endpoint mismatch", si)
+		}
+		for i, e := range seq.Edges {
+			if seen[e] {
+				return fmt.Errorf("edge %d in two sequences", e)
+			}
+			seen[e] = true
+			if s.ByEdge[e] != SeqID(si) || s.EdgeIndex[e] != int32(i) {
+				return fmt.Errorf("edge %d: wrong back-reference", e)
+			}
+			ed := g.Edge(e)
+			a, b := seq.Nodes[i], seq.Nodes[i+1]
+			if !(ed.U == a && ed.V == b) && !(ed.U == b && ed.V == a) {
+				return fmt.Errorf("sequence %d edge %d does not connect consecutive nodes", si, e)
+			}
+		}
+		for _, n := range seq.Nodes[1 : len(seq.Nodes)-1] {
+			if g.Degree(n) != 2 && n != seq.EndA {
+				return fmt.Errorf("sequence %d: interior node %d has degree %d", si, n, g.Degree(n))
+			}
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			return fmt.Errorf("edge %d not covered by any sequence", e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadknn/internal/geom"
+	"roadknn/internal/graph"
+)
+
+// figure11Graph reproduces the network of the paper's Figure 11:
+// intersection n1 (degree 5), intersections n2, n5 (degree 3), degree-2
+// chain n1-n7-n6-n5, and terminals n3, n4, n8, n9. It has exactly the seven
+// sequences listed in §5.
+func figure11Graph(t *testing.T) (*graph.Graph, map[string]graph.NodeID, map[string]graph.EdgeID) {
+	t.Helper()
+	g := graph.New(9, 9)
+	nodes := map[string]graph.NodeID{}
+	coords := map[string]geom.Point{
+		"n1": {X: 4, Y: 2}, "n2": {X: 7, Y: 2}, "n3": {X: 9, Y: 3},
+		"n4": {X: 10, Y: 0}, "n5": {X: 7, Y: 0}, "n6": {X: 4, Y: 0},
+		"n7": {X: 2, Y: 0}, "n8": {X: 2, Y: 3}, "n9": {X: 5, Y: 3},
+	}
+	for _, name := range []string{"n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9"} {
+		nodes[name] = g.AddNode(coords[name])
+	}
+	edges := map[string]graph.EdgeID{}
+	add := func(a, b string, w float64) {
+		edges[a+b] = g.AddEdge(nodes[a], nodes[b], w)
+	}
+	add("n1", "n8", 2)
+	add("n1", "n9", 2)
+	add("n1", "n7", 3)
+	add("n7", "n6", 2)
+	add("n6", "n5", 3)
+	add("n1", "n2", 3)
+	add("n2", "n3", 2)
+	add("n2", "n5", 2)
+	add("n5", "n4", 3)
+	return g, nodes, edges
+}
+
+func TestFigure11Sequences(t *testing.T) {
+	g, nodes, edges := figure11Graph(t)
+	s := DecomposeSequences(g)
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Seqs) != 7 {
+		t.Fatalf("got %d sequences, want 7", len(s.Seqs))
+	}
+	// The chain n1-n7-n6-n5 must be one 3-edge sequence with endpoints n1, n5.
+	chain := s.Of(edges["n7n6"])
+	if len(chain.Edges) != 3 {
+		t.Fatalf("chain sequence has %d edges, want 3", len(chain.Edges))
+	}
+	ends := map[graph.NodeID]bool{chain.EndA: true, chain.EndB: true}
+	if !ends[nodes["n1"]] || !ends[nodes["n5"]] {
+		t.Fatalf("chain endpoints = %d,%d; want n1,n5", chain.EndA, chain.EndB)
+	}
+	// All three chain edges share the sequence id.
+	if s.ByEdge[edges["n1n7"]] != chain.ID || s.ByEdge[edges["n6n5"]] != chain.ID {
+		t.Fatal("chain edges assigned to different sequences")
+	}
+	// Each single-edge path between non-degree-2 nodes is its own sequence.
+	for _, name := range []string{"n1n8", "n1n9", "n1n2", "n2n3", "n2n5", "n5n4"} {
+		if got := s.Of(edges[name]); len(got.Edges) != 1 {
+			t.Fatalf("sequence of %s has %d edges, want 1", name, len(got.Edges))
+		}
+	}
+}
+
+func TestPureCycleSequence(t *testing.T) {
+	g := graph.New(4, 4)
+	var ids [4]graph.NodeID
+	pts := [4]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	for i := range ids {
+		ids[i] = g.AddNode(pts[i])
+	}
+	for i := range ids {
+		g.AddEdge(ids[i], ids[(i+1)%4], 1)
+	}
+	s := DecomposeSequences(g)
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Seqs) != 1 {
+		t.Fatalf("cycle decomposed into %d sequences, want 1", len(s.Seqs))
+	}
+	seq := &s.Seqs[0]
+	if seq.EndA != seq.EndB {
+		t.Fatalf("cycle sequence endpoints differ: %d, %d", seq.EndA, seq.EndB)
+	}
+	if len(seq.Edges) != 4 {
+		t.Fatalf("cycle sequence has %d edges, want 4", len(seq.Edges))
+	}
+}
+
+func TestCycleWithIntersection(t *testing.T) {
+	// A triangle with a tail: the tail node makes one triangle vertex degree 3.
+	g := graph.New(4, 4)
+	a := g.AddNode(geom.Point{X: 0, Y: 0})
+	b := g.AddNode(geom.Point{X: 1, Y: 0})
+	c := g.AddNode(geom.Point{X: 0.5, Y: 1})
+	d := g.AddNode(geom.Point{X: -1, Y: 0})
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, c, 1)
+	g.AddEdge(c, a, 1)
+	g.AddEdge(a, d, 1)
+	s := DecomposeSequences(g)
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Expected: tail a-d, and the loop a-b-c-a (a single sequence from a back
+	// to a through degree-2 nodes b and c).
+	if len(s.Seqs) != 2 {
+		t.Fatalf("got %d sequences, want 2", len(s.Seqs))
+	}
+}
+
+func TestRandomNetworksDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.New(50, 120)
+		n := 20 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			g.AddNode(geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10})
+		}
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 0.1+rng.Float64())
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, 0.1+rng.Float64())
+			}
+		}
+		s := DecomposeSequences(g)
+		if err := s.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

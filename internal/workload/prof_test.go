@@ -1,0 +1,28 @@
+package workload
+
+import (
+	"testing"
+
+	"roadknn/internal/core"
+	"roadknn/internal/roadnet"
+)
+
+func benchEngine(b *testing.B, mk func(*roadnet.Network) core.Engine, k int) {
+	cfg := Default().Scale(0.25)
+	cfg.K = k
+	cfg.Timestamps = 1
+	r, _ := NewRunner(cfg, mk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := r.GenerateStep()
+		r.Engine().Step(u)
+	}
+}
+
+func BenchmarkIMAK200(b *testing.B) {
+	benchEngine(b, func(n *roadnet.Network) core.Engine { return core.NewIMA(n) }, 200)
+}
+
+func BenchmarkOVHK200(b *testing.B) {
+	benchEngine(b, func(n *roadnet.Network) core.Engine { return core.NewOVH(n) }, 200)
+}

@@ -1,0 +1,252 @@
+// Package workload implements the paper's experimental methodology (§6,
+// Table 2): synthetic networks with N objects and Q continuous queries,
+// per-timestamp update batches driven by object/query/edge agilities and
+// speeds, and CPU-time / memory measurements per timestamp.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"roadknn/internal/core"
+	"roadknn/internal/gen"
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// Movement selects how objects and queries move.
+type Movement int
+
+const (
+	// RandomWalk is the paper's simple generator: a moving entity performs
+	// a random walk covering speed × average-edge-length per timestamp.
+	RandomWalk Movement = iota
+	// Brinkhoff uses the network-based generator of [2]: movers follow
+	// shortest paths to random destinations in three speed classes
+	// (Figure 19's setup).
+	Brinkhoff
+)
+
+// Config mirrors Table 2.
+type Config struct {
+	Edges       int   // network size in edges (default sub-network: 10K)
+	Seed        int64 // drives network and all randomness
+	NumObjects  int   // N
+	NumQueries  int   // Q
+	ObjDist     gen.Distribution
+	QryDist     gen.Distribution
+	ObjSigma    float64 // Gaussian sigma fraction for objects (paper: 50%)
+	QrySigma    float64 // Gaussian sigma fraction for queries (paper: 10%)
+	K           int     // NNs per query
+	EdgeAgility float64 // f_edg: fraction of edges updated per ts (+-10%)
+	ObjAgility  float64 // f_obj: fraction of objects moving per ts
+	ObjSpeed    float64 // v_obj: distance per move, in avg edge lengths
+	QryAgility  float64 // f_qry
+	QrySpeed    float64 // v_qry
+	Timestamps  int
+	Movement    Movement
+	Oldenburg   bool // use the Oldenburg-like network (Figure 19)
+}
+
+// Default returns the paper's default setting (Table 2).
+func Default() Config {
+	return Config{
+		Edges:       10000,
+		Seed:        1,
+		NumObjects:  100000,
+		NumQueries:  5000,
+		ObjDist:     gen.Uniform,
+		QryDist:     gen.Gaussian,
+		ObjSigma:    0.5,
+		QrySigma:    0.1,
+		K:           50,
+		EdgeAgility: 0.04,
+		ObjAgility:  0.10,
+		ObjSpeed:    1,
+		QryAgility:  0.10,
+		QrySpeed:    1,
+		Timestamps:  100,
+	}
+}
+
+// Scale shrinks the workload by the given factor (network, objects and
+// queries together), preserving densities so result shapes carry over.
+func (c Config) Scale(f float64) Config {
+	scale := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c.Edges = scale(c.Edges)
+	c.NumObjects = scale(c.NumObjects)
+	c.NumQueries = scale(c.NumQueries)
+	return c
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Engine         string
+	Timestamps     int
+	TotalSeconds   float64 // total Step time
+	AvgStepSeconds float64 // mean Step time per timestamp
+	AvgSizeBytes   int     // mean SizeBytes sampled after each Step
+	MaxSizeBytes   int
+	InitialSeconds float64 // initial result computation for all queries
+}
+
+// BuildNetwork constructs the configured network.
+func BuildNetwork(cfg Config) *roadnet.Network {
+	var g *graph.Graph
+	if cfg.Oldenburg {
+		g = gen.OldenburgLike(cfg.Seed)
+	} else {
+		g = gen.SanFranciscoLike(cfg.Edges, cfg.Seed)
+	}
+	return roadnet.NewNetwork(g)
+}
+
+// Runner drives one engine through the configured simulation. Create one
+// per engine with the same Config to compare algorithms on identical
+// update streams (all randomness derives from cfg.Seed).
+type Runner struct {
+	cfg    Config
+	rng    *rand.Rand
+	engine core.Engine
+	net    *roadnet.Network
+	qPos   []roadnet.Position
+	avgLen float64
+
+	objSim *gen.Brinkhoff // Brinkhoff movement only
+	qrySim *gen.Brinkhoff
+}
+
+// NewRunner builds the network, places objects and queries, and registers
+// the queries on the engine produced by makeEngine.
+func NewRunner(cfg Config, makeEngine func(*roadnet.Network) core.Engine) (*Runner, Result) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7_000_003))
+	net := BuildNetwork(cfg)
+	r := &Runner{
+		cfg:    cfg,
+		rng:    rng,
+		net:    net,
+		engine: makeEngine(net),
+		avgLen: net.AvgEdgeLength(),
+	}
+
+	if cfg.Movement == Brinkhoff {
+		r.objSim = gen.NewBrinkhoff(net, cfg.NumObjects, cfg.Seed+11)
+		for i := 0; i < cfg.NumObjects; i++ {
+			net.AddObject(roadnet.ObjectID(i), r.objSim.Position(i))
+		}
+		r.qrySim = gen.NewBrinkhoff(net, cfg.NumQueries, cfg.Seed+13)
+		r.qPos = make([]roadnet.Position, cfg.NumQueries)
+		for i := range r.qPos {
+			r.qPos[i] = r.qrySim.Position(i)
+		}
+	} else {
+		for i, pos := range gen.Place(net, cfg.NumObjects, cfg.ObjDist, cfg.ObjSigma, rng) {
+			net.AddObject(roadnet.ObjectID(i), pos)
+		}
+		r.qPos = gen.Place(net, cfg.NumQueries, cfg.QryDist, cfg.QrySigma, rng)
+	}
+
+	res := Result{Engine: r.engine.Name()}
+	start := time.Now()
+	for i, pos := range r.qPos {
+		r.engine.Register(core.QueryID(i), pos, cfg.K)
+	}
+	res.InitialSeconds = time.Since(start).Seconds()
+	return r, res
+}
+
+// Engine returns the driven engine.
+func (r *Runner) Engine() core.Engine { return r.engine }
+
+// GenerateStep builds the update batch for one timestamp.
+func (r *Runner) GenerateStep() core.Updates {
+	var u core.Updates
+	cfg := r.cfg
+
+	if cfg.Movement == Brinkhoff {
+		for _, mv := range r.objSim.Step(cfg.ObjAgility) {
+			u.Objects = append(u.Objects, core.ObjectUpdate{
+				ID: roadnet.ObjectID(mv.Index), Old: mv.Old, New: mv.New,
+			})
+		}
+		for _, mv := range r.qrySim.Step(cfg.QryAgility) {
+			r.qPos[mv.Index] = mv.New
+			u.Queries = append(u.Queries, core.QueryUpdate{
+				ID: core.QueryID(mv.Index), New: mv.New,
+			})
+		}
+	} else {
+		for i := 0; i < cfg.NumObjects; i++ {
+			if r.rng.Float64() >= cfg.ObjAgility {
+				continue
+			}
+			id := roadnet.ObjectID(i)
+			old, ok := r.net.ObjectPos(id)
+			if !ok {
+				continue
+			}
+			np := r.net.RandomWalk(old, cfg.ObjSpeed*r.avgLen, 0, r.rng)
+			u.Objects = append(u.Objects, core.ObjectUpdate{ID: id, Old: old, New: np})
+		}
+		for i := range r.qPos {
+			if r.rng.Float64() >= cfg.QryAgility {
+				continue
+			}
+			np := r.net.RandomWalk(r.qPos[i], cfg.QrySpeed*r.avgLen, 0, r.rng)
+			r.qPos[i] = np
+			u.Queries = append(u.Queries, core.QueryUpdate{ID: core.QueryID(i), New: np})
+		}
+	}
+
+	m := r.net.G.NumEdges()
+	nUpd := int(cfg.EdgeAgility * float64(m))
+	for i := 0; i < nUpd; i++ {
+		eid := graph.EdgeID(r.rng.Intn(m))
+		w := r.net.G.Edge(eid).W
+		if r.rng.Intn(2) == 0 {
+			w *= 0.9
+		} else {
+			w *= 1.1
+		}
+		u.Edges = append(u.Edges, core.EdgeUpdate{Edge: eid, NewW: w})
+	}
+	return u
+}
+
+// Run executes the configured number of timestamps and returns the
+// aggregated measurements.
+func (r *Runner) Run() Result {
+	res := Result{Engine: r.engine.Name(), Timestamps: r.cfg.Timestamps}
+	var sizeSum int
+	for ts := 0; ts < r.cfg.Timestamps; ts++ {
+		u := r.GenerateStep()
+		start := time.Now()
+		r.engine.Step(u)
+		res.TotalSeconds += time.Since(start).Seconds()
+		sz := r.engine.SizeBytes()
+		sizeSum += sz
+		if sz > res.MaxSizeBytes {
+			res.MaxSizeBytes = sz
+		}
+	}
+	if res.Timestamps > 0 {
+		res.AvgStepSeconds = res.TotalSeconds / float64(res.Timestamps)
+		res.AvgSizeBytes = sizeSum / res.Timestamps
+	}
+	return res
+}
+
+// Run builds a runner and executes it; the one-call entry point used by
+// the benchmark harness.
+func Run(cfg Config, makeEngine func(*roadnet.Network) core.Engine) Result {
+	r, init := NewRunner(cfg, makeEngine)
+	res := r.Run()
+	res.InitialSeconds = init.InitialSeconds
+	return res
+}

@@ -1,0 +1,65 @@
+package roadknn
+
+import (
+	"roadknn/internal/crnn"
+	"roadknn/internal/roadnet"
+)
+
+// ReverseMonitor continuously maintains, for a set of queries and a set of
+// objects moving on the network, each query's reverse nearest neighbors:
+// the objects closer to it than to any other query (the paper's §7 future-
+// work direction, e.g. "which clients are closer to my cab than to any
+// other vacant cab").
+//
+// The implementation maintains the network Voronoi assignment of objects
+// to queries with one shared multi-source expansion per timestamp.
+type ReverseMonitor struct {
+	m *crnn.Monitor
+}
+
+// ReverseUpdates is a timestamp's batch for a ReverseMonitor.
+type ReverseUpdates = crnn.Updates
+
+// Reverse update element types, mirroring the forward protocol.
+type (
+	// ReverseObjectUpdate moves, inserts or deletes an object.
+	ReverseObjectUpdate = crnn.ObjectUpdate
+	// ReverseQueryUpdate moves, installs or terminates a query.
+	ReverseQueryUpdate = crnn.QueryUpdate
+	// ReverseEdgeUpdate changes an edge weight.
+	ReverseEdgeUpdate = crnn.EdgeUpdate
+	// ReverseQueryID identifies a reverse-NN query.
+	ReverseQueryID = crnn.QueryID
+	// ReverseAssignment is an object's nearest query and distance.
+	ReverseAssignment = crnn.Assignment
+)
+
+// NewReverseMonitor creates a reverse-NN monitor over net. The monitor
+// owns the network: apply updates only through Step.
+func NewReverseMonitor(net *Network) *ReverseMonitor {
+	return &ReverseMonitor{m: crnn.New(net)}
+}
+
+// Register installs query id at pos; call Refresh or Step afterwards.
+func (r *ReverseMonitor) Register(id ReverseQueryID, pos Position) { r.m.Register(id, pos) }
+
+// Unregister terminates query id.
+func (r *ReverseMonitor) Unregister(id ReverseQueryID) { r.m.Unregister(id) }
+
+// Step applies one timestamp of updates and refreshes all assignments.
+func (r *ReverseMonitor) Step(u ReverseUpdates) { r.m.Step(u) }
+
+// Refresh rebuilds the assignment without applying updates.
+func (r *ReverseMonitor) Refresh() { r.m.Refresh() }
+
+// ReverseNN returns the objects currently assigned to query id. The slice
+// is owned by the monitor and valid until the next Step/Refresh.
+func (r *ReverseMonitor) ReverseNN(id ReverseQueryID) []ObjectID { return r.m.ReverseNN(id) }
+
+// NearestQuery returns an object's current nearest query.
+func (r *ReverseMonitor) NearestQuery(id ObjectID) (ReverseAssignment, bool) {
+	return r.m.NearestQuery(id)
+}
+
+// Network returns the underlying network model.
+func (r *ReverseMonitor) Network() *roadnet.Network { return r.m.Network() }

@@ -1,0 +1,51 @@
+package roadknn_test
+
+import (
+	"math"
+	"testing"
+
+	"roadknn"
+)
+
+func TestReverseMonitorEndToEnd(t *testing.T) {
+	net, edges := buildCross(t)
+	net.AddObject(1, roadknn.Position{Edge: edges[1], Frac: 0.8}) // east arm
+	net.AddObject(2, roadknn.Position{Edge: edges[3], Frac: 0.8}) // north arm
+
+	mon := roadknn.NewReverseMonitor(net)
+	mon.Register(10, roadknn.Position{Edge: edges[1], Frac: 0.2}) // east cab
+	mon.Register(20, roadknn.Position{Edge: edges[0], Frac: 0.9}) // west cab
+	mon.Refresh()
+
+	// Object 1 is on the east arm: cab 10 owns it. Object 2 on the north
+	// arm is nearer to the center, hence to cab 20 (0.9+0.8=1.7) than to
+	// cab 10 (0.2+0.8=1.0)? No: via center cab 10 is 0.2+0.8=1.0 away.
+	a1, ok := mon.NearestQuery(1)
+	if !ok || a1.Query != 10 || math.Abs(a1.Dist-0.6) > 1e-9 {
+		t.Fatalf("NearestQuery(1) = %+v, %v; want cab 10 at 0.6", a1, ok)
+	}
+	a2, ok := mon.NearestQuery(2)
+	if !ok || a2.Query != 10 || math.Abs(a2.Dist-1.0) > 1e-9 {
+		t.Fatalf("NearestQuery(2) = %+v, %v; want cab 10 at 1.0", a2, ok)
+	}
+	if got := len(mon.ReverseNN(10)); got != 2 {
+		t.Fatalf("RNN(10) size = %d, want 2", got)
+	}
+
+	// Cab 20 moves to the base of the north arm: it takes object 2.
+	mon.Step(roadknn.ReverseUpdates{Queries: []roadknn.ReverseQueryUpdate{{
+		ID: 20, New: roadknn.Position{Edge: edges[3], Frac: 0.1},
+	}}})
+	if a, _ := mon.NearestQuery(2); a.Query != 20 {
+		t.Fatalf("after move, owner of 2 = %d, want 20", a.Query)
+	}
+	if got := len(mon.ReverseNN(10)); got != 1 {
+		t.Fatalf("RNN(10) after move = %d, want 1", got)
+	}
+
+	mon.Unregister(10)
+	mon.Refresh()
+	if a, _ := mon.NearestQuery(1); a.Query != 20 {
+		t.Fatalf("after unregister, owner of 1 = %d, want 20", a.Query)
+	}
+}

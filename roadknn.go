@@ -1,0 +1,128 @@
+// Package roadknn is a library for continuous k-nearest-neighbor monitoring
+// in road networks, implementing the algorithms of Mouratidis, Yiu,
+// Papadias and Mamoulis, "Continuous Nearest Neighbor Monitoring in Road
+// Networks", VLDB 2006.
+//
+// A central server tracks a set of data objects (e.g. pedestrians) and a
+// set of continuous k-NN queries (e.g. vacant taxis) that both move
+// arbitrarily on a road network whose edge weights fluctuate with traffic.
+// Each timestamp the server receives a batch of object-location, query-
+// location and edge-weight updates and refreshes every query's k nearest
+// objects under shortest-path distance.
+//
+// Three monitoring engines are provided behind the Engine interface:
+//
+//   - NewOVH: the overhaul baseline — recompute every query from scratch
+//     each timestamp;
+//   - NewIMA: the incremental monitoring algorithm — per-query expansion
+//     trees and influence lists, so only relevant updates are processed and
+//     valid tree parts are reused (paper §4);
+//   - NewGMA: the group monitoring algorithm — shared execution per network
+//     sequence using monitored intersection nodes (paper §5).
+//
+// # Quick start
+//
+//	net := roadknn.GenerateNetwork(1000, 42) // or build one via NetworkBuilder
+//	net.AddObject(1, roadknn.Position{Edge: 0, Frac: 0.5})
+//	srv := roadknn.NewGMA(net)
+//	srv.Register(1, roadknn.Position{Edge: 3, Frac: 0.2}, 4)
+//	for eachTimestamp {
+//	    srv.Step(roadknn.Updates{Objects: ..., Queries: ..., Edges: ...})
+//	    nns := srv.Result(1)
+//	}
+//
+// All engines own their Network: apply updates only through Step (or
+// Register/Unregister), never by mutating the network directly while a
+// monitor is live. Engines assume bidirectional edges, the paper's setting.
+package roadknn
+
+import (
+	"roadknn/internal/core"
+	"roadknn/internal/gen"
+	"roadknn/internal/geom"
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// Re-exported identifier and value types.
+type (
+	// NodeID identifies a network node.
+	NodeID = graph.NodeID
+	// EdgeID identifies a network edge.
+	EdgeID = graph.EdgeID
+	// ObjectID identifies a data object.
+	ObjectID = roadnet.ObjectID
+	// QueryID identifies a continuous query.
+	QueryID = core.QueryID
+	// Point is a workspace coordinate.
+	Point = geom.Point
+	// Position locates a point on the network (edge + fraction from its U
+	// endpoint).
+	Position = roadnet.Position
+	// Network is the runtime road-network model: graph, spatial index and
+	// object registry.
+	Network = roadnet.Network
+	// Neighbor is one result entry: object and network distance.
+	Neighbor = core.Neighbor
+	// Engine is a continuous k-NN monitoring algorithm.
+	Engine = core.Engine
+	// Updates is a timestamp's batch of events.
+	Updates = core.Updates
+	// ObjectUpdate reports an object movement, appearance or disappearance.
+	ObjectUpdate = core.ObjectUpdate
+	// QueryUpdate reports a query movement, installation or termination.
+	QueryUpdate = core.QueryUpdate
+	// EdgeUpdate reports an edge weight change.
+	EdgeUpdate = core.EdgeUpdate
+)
+
+// NewOVH returns the overhaul baseline engine over net.
+func NewOVH(net *Network) Engine { return core.NewOVH(net) }
+
+// NewIMA returns the incremental monitoring algorithm engine over net.
+func NewIMA(net *Network) Engine { return core.NewIMA(net) }
+
+// NewGMA returns the group monitoring algorithm engine over net.
+func NewGMA(net *Network) Engine { return core.NewGMA(net) }
+
+// GenerateNetwork produces a synthetic road network with approximately the
+// given number of edges (San-Francisco-like statistics: planar, degree 3-4
+// intersections, degree-2 chains; weight = segment length). The same seed
+// always yields the same network.
+func GenerateNetwork(edges int, seed int64) *Network {
+	return roadnet.NewNetwork(gen.SanFranciscoLike(edges, seed))
+}
+
+// SnapshotKNN answers a one-time k-NN query at pos by exhaustive search —
+// useful for verification and for callers that do not need continuous
+// monitoring.
+func SnapshotKNN(net *Network, pos Position, k int) []Neighbor {
+	return core.BruteForceKNN(net, pos, k)
+}
+
+// NetworkBuilder assembles a road network node by node and edge by edge.
+type NetworkBuilder struct {
+	g *graph.Graph
+}
+
+// NewNetworkBuilder returns an empty builder.
+func NewNetworkBuilder() *NetworkBuilder {
+	return &NetworkBuilder{g: graph.New(64, 64)}
+}
+
+// AddNode places a node at (x, y) and returns its id.
+func (b *NetworkBuilder) AddNode(x, y float64) NodeID {
+	return b.g.AddNode(Point{X: x, Y: y})
+}
+
+// AddEdge links u and v with a bidirectional edge of the given travel cost
+// and returns its id.
+func (b *NetworkBuilder) AddEdge(u, v NodeID, weight float64) EdgeID {
+	return b.g.AddEdge(u, v, weight)
+}
+
+// Build finalizes the network (constructing the spatial index). The
+// builder must not be reused afterwards.
+func (b *NetworkBuilder) Build() *Network {
+	return roadnet.NewNetwork(b.g)
+}
