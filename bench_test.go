@@ -35,7 +35,7 @@ func benchmarkExperimentPoint(b *testing.B, expID string, pointIdx int) {
 	}
 	p := e.Points[pointIdx]
 	for _, engName := range e.Engines {
-		mk := experiments.Engines()[engName]
+		mk := experiments.EngineFor(engName, p.Cfg.Workers)
 		b.Run(engName, func(b *testing.B) {
 			r, _ := workload.NewRunner(p.Cfg, mk)
 			b.ResetTimer()
@@ -72,6 +72,31 @@ func BenchmarkFig19bBrinkhoffK(b *testing.B)        { benchmarkExperimentPoint(b
 // in-sequence walk.
 func BenchmarkAblationInfluenceFiltering(b *testing.B) { benchmarkExperimentPoint(b, "abl-il", 1) }
 func BenchmarkAblationBoundedWalk(b *testing.B)        { benchmarkExperimentPoint(b, "abl-seq", 1) }
+
+// BenchmarkFigureParallelStep measures one monitoring timestamp per engine
+// at the default workload with the worker pool sized to GOMAXPROCS, so a
+// `go test -bench BenchmarkFigure -cpu 1,4` run sweeps the parallel sharded
+// pipeline across worker counts (workers follow -cpu; at -cpu 1 the
+// pipeline is serial). Results are identical across worker counts — only
+// the per-step wall time changes.
+func BenchmarkFigureParallelStep(b *testing.B) {
+	exps := experiments.All(benchScale, benchTimestamps, 1)
+	e := experiments.ByID(exps, "sw")
+	if e == nil {
+		b.Fatal("unknown experiment sw")
+	}
+	p := e.Points[0]
+	for _, engName := range e.Engines {
+		b.Run(engName, func(b *testing.B) {
+			// Workers: 0 resolves to GOMAXPROCS, i.e. the -cpu value.
+			r, _ := workload.NewRunner(p.Cfg, experiments.EngineFor(engName, 0))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Engine().Step(r.GenerateStep())
+			}
+		})
+	}
+}
 
 // BenchmarkInitialComputation measures the Figure-2 from-scratch search
 // (initial result computation) per query, across k values.

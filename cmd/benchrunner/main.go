@@ -25,16 +25,27 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment id (e.g. f13a) or 'all'")
-		scale = flag.Float64("scale", 0.25, "workload scale factor (1 = paper scale)")
-		ts    = flag.Int("ts", 20, "timestamps per run (paper: 100)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		csv   = flag.String("csv", "", "also append results as CSV to this file")
+		expID   = flag.String("exp", "all", "experiment id (e.g. f13a) or 'all'")
+		scale   = flag.Float64("scale", 0.25, "workload scale factor (1 = paper scale)")
+		ts      = flag.Int("ts", 20, "timestamps per run (paper: 100)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", -1, "engine worker-pool size (-1 = registry default: figures serial, 0 = GOMAXPROCS, 1 = serial); the 'sw' sweep always sets its own axis")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.String("csv", "", "also append results as CSV to this file")
 	)
 	flag.Parse()
 
 	exps := experiments.All(*scale, *ts, *seed)
+	if *workers >= 0 {
+		for i := range exps {
+			if exps[i].Param == "workers" {
+				continue // the workers sweep sets its own axis
+			}
+			for j := range exps[i].Points {
+				exps[i].Points[j].Cfg.Workers = *workers
+			}
+		}
+	}
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)

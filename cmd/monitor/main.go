@@ -37,6 +37,7 @@ func main() {
 	var (
 		netFile = flag.String("net", "", "network JSON file (required)")
 		engine  = flag.String("engine", "ima", "monitoring engine: ovh, ima or gma")
+		workers = flag.Int("workers", 0, "worker-pool size for per-query work (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 	if *netFile == "" {
@@ -48,14 +49,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 		os.Exit(1)
 	}
+	opts := roadknn.Options{Workers: *workers}
 	var srv roadknn.Engine
 	switch strings.ToLower(*engine) {
 	case "ovh":
-		srv = roadknn.NewOVH(net)
+		srv = roadknn.NewOVHWith(net, opts)
 	case "ima":
-		srv = roadknn.NewIMA(net)
+		srv = roadknn.NewIMAWith(net, opts)
 	case "gma":
-		srv = roadknn.NewGMA(net)
+		srv = roadknn.NewGMAWith(net, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "monitor: unknown engine %q\n", *engine)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module roadknn
+
+go 1.24

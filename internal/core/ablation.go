@@ -17,11 +17,18 @@ type IMAUnfiltered struct {
 	IMA
 }
 
-// NewIMAUnfiltered creates the ablation engine over net.
+// NewIMAUnfiltered creates the ablation engine over net with default
+// options.
 func NewIMAUnfiltered(net *roadnet.Network) *IMAUnfiltered {
+	return NewIMAUnfilteredWith(net, Options{})
+}
+
+// NewIMAUnfilteredWith creates the ablation engine with the given options.
+func NewIMAUnfilteredWith(net *roadnet.Network, o Options) *IMAUnfiltered {
 	e := &IMAUnfiltered{}
 	e.set = newMonitorSet(net, false)
 	e.set.unfiltered = true
+	e.set.workers = o.workers()
 	return e
 }
 
@@ -37,9 +44,14 @@ type GMANaive struct {
 	GMA
 }
 
-// NewGMANaive creates the ablation engine over net.
+// NewGMANaive creates the ablation engine over net with default options.
 func NewGMANaive(net *roadnet.Network) *GMANaive {
-	inner := NewGMA(net)
+	return NewGMANaiveWith(net, Options{})
+}
+
+// NewGMANaiveWith creates the ablation engine with the given options.
+func NewGMANaiveWith(net *roadnet.Network, o Options) *GMANaive {
+	inner := NewGMAWith(net, o)
 	inner.naiveEval = true
 	return &GMANaive{GMA: *inner}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"roadknn/internal/graph"
 	"roadknn/internal/roadnet"
@@ -30,6 +31,14 @@ type GMA struct {
 	// whole sequence and always merge both endpoint NN sets (the GMA-naive
 	// ablation, §5's strawman).
 	naiveEval bool
+	// workers sizes the worker pool for the parallel phases of Step (the
+	// inner active-node maintenance and the per-query re-evaluations).
+	workers int
+	// evalIDs / evalBufs are the parallel evaluation stage's shard list
+	// and per-shard qIL op buffers, retained across steps to amortize
+	// allocations (mirroring stepRouter).
+	evalIDs  []QueryID
+	evalBufs [][]qilOp
 }
 
 // gmaQuery is the per-query state: no expansion tree — only the result,
@@ -69,16 +78,24 @@ func (iv qInterval) union(o qInterval) qInterval {
 	return iv
 }
 
-// NewGMA creates a GMA engine over net, decomposing the network into
-// sequences.
+// NewGMA creates a GMA engine over net with default options (worker pool
+// sized to GOMAXPROCS), decomposing the network into sequences.
 func NewGMA(net *roadnet.Network) *GMA {
+	return NewGMAWith(net, Options{})
+}
+
+// NewGMAWith creates a GMA engine over net with the given options.
+func NewGMAWith(net *roadnet.Network, o Options) *GMA {
+	inner := newMonitorSet(net, true)
+	inner.workers = o.workers()
 	return &GMA{
 		net:     net,
 		seqs:    roadnet.DecomposeSequences(net.G),
-		inner:   newMonitorSet(net, true),
+		inner:   inner,
 		queries: make(map[QueryID]*gmaQuery),
 		qIL:     make([]map[QueryID]qInterval, net.G.NumEdges()),
 		nodeQ:   make(map[graph.NodeID]map[QueryID]int),
+		workers: o.workers(),
 	}
 }
 
@@ -286,12 +303,63 @@ func (e *GMA) Step(u Updates) {
 		}
 	}
 
-	// Lines 16-17: recompute affected queries from scratch.
+	// Lines 16-17: recompute affected queries from scratch. The
+	// evaluations are mutually independent — each reads the frozen network,
+	// sequence tables and active-node results and writes only its own query
+	// state — so they fan out over the worker pool, with the shared
+	// query-side influence table updated from per-shard op buffers in the
+	// merge stage (ascending query order).
+	ids := e.evalIDs[:0]
 	for qid := range affected {
-		if q, ok := e.queries[qid]; ok {
-			e.evaluate(q)
+		if _, ok := e.queries[qid]; ok {
+			ids = append(ids, qid)
 		}
 	}
+	slices.Sort(ids)
+	e.evalIDs = ids
+	if e.workers > 1 && len(ids) > 1 {
+		for len(e.evalBufs) < len(ids) {
+			e.evalBufs = append(e.evalBufs, nil)
+		}
+		bufs := e.evalBufs[:len(ids)]
+		for i := range bufs {
+			bufs[i] = bufs[i][:0]
+		}
+		runShards(e.workers, len(ids), func(i int) {
+			e.evaluateInto(e.queries[ids[i]], &bufs[i])
+		})
+		for _, buf := range bufs {
+			for _, op := range buf {
+				e.applyQILOp(op)
+			}
+		}
+	} else {
+		for _, qid := range ids {
+			e.evaluate(e.queries[qid])
+		}
+	}
+}
+
+// qilOp is a deferred mutation of the query-side influence table qIL,
+// emitted by a parallel evaluation shard and applied in the merge stage.
+type qilOp struct {
+	del  bool
+	edge graph.EdgeID
+	q    QueryID
+	iv   qInterval
+}
+
+func (e *GMA) applyQILOp(op qilOp) {
+	if op.del {
+		delete(e.qIL[op.edge], op.q)
+		return
+	}
+	m := e.qIL[op.edge]
+	if m == nil {
+		m = make(map[QueryID]qInterval, 2)
+		e.qIL[op.edge] = m
+	}
+	m[op.q] = op.iv
 }
 
 func (e *GMA) unregisterInStep(id QueryID, affected map[QueryID]bool) {

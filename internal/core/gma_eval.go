@@ -22,8 +22,21 @@ type walkEdge struct {
 // The influencing intervals on the covered sequence edges are re-registered
 // from the final kNN_dist.
 func (e *GMA) evaluate(q *gmaQuery) {
+	e.evaluateInto(q, nil)
+}
+
+// evaluateInto is evaluate with an optional influence-table sink: with a
+// non-nil sink the shared qIL table is left untouched and the mutations are
+// appended to the sink instead, so that evaluations of distinct queries can
+// run concurrently (each query only ever touches its own qIL entries, so
+// replaying the buffered ops in any shard order yields the serial table).
+func (e *GMA) evaluateInto(q *gmaQuery, sink *[]qilOp) {
 	for eid := range q.affEdges {
-		delete(e.qIL[eid], q.id)
+		if sink != nil {
+			*sink = append(*sink, qilOp{del: true, edge: eid, q: q.id})
+		} else {
+			delete(e.qIL[eid], q.id)
+		}
 	}
 	clear(q.affEdges)
 	q.cand.reset(q.k)
@@ -41,7 +54,7 @@ func (e *GMA) evaluate(q *gmaQuery) {
 	q.result = q.cand.finalize()
 	q.kdist = q.cand.kth()
 
-	e.registerIntervals(q, covered)
+	e.registerIntervals(q, covered, sink)
 }
 
 // walkDir expands along the sequence from q's edge: dir=+1 walks toward
@@ -105,13 +118,13 @@ func (e *GMA) mergeNodeSet(q *gmaQuery, n graph.NodeID, d float64) {
 // registerIntervals writes q's influencing intervals: on its own edge the
 // direct span q ± kNN_dist, and on every covered sequence edge the portion
 // within kNN_dist of the walk's entry point.
-func (e *GMA) registerIntervals(q *gmaQuery, covered []walkEdge) {
+func (e *GMA) registerIntervals(q *gmaQuery, covered []walkEdge, sink *[]qilOp) {
 	w := e.net.G.Edge(q.pos.Edge).W
 	span := fracSpan(q.kdist, w)
 	e.addInterval(q, q.pos.Edge, qInterval{
 		lo: math.Max(0, q.pos.Frac-span),
 		hi: math.Min(1, q.pos.Frac+span),
-	})
+	}, sink)
 	for _, we := range covered {
 		remain := q.kdist - we.dEntry
 		if remain <= -distEps {
@@ -124,7 +137,7 @@ func (e *GMA) registerIntervals(q *gmaQuery, covered []walkEdge) {
 		} else {
 			iv = qInterval{lo: 1 - f, hi: 1}
 		}
-		e.addInterval(q, we.eid, iv)
+		e.addInterval(q, we.eid, iv, sink)
 	}
 }
 
@@ -140,11 +153,17 @@ func fracSpan(cost, w float64) float64 {
 	return cost / w
 }
 
-func (e *GMA) addInterval(q *gmaQuery, eid graph.EdgeID, iv qInterval) {
+func (e *GMA) addInterval(q *gmaQuery, eid graph.EdgeID, iv qInterval, sink *[]qilOp) {
 	if cur, ok := q.affEdges[eid]; ok {
 		iv = cur.union(iv)
 	}
 	q.affEdges[eid] = iv
+	if sink != nil {
+		// Repeated registrations on one edge widen the interval; the ops
+		// are applied in emission order, so the last (widest) wins.
+		*sink = append(*sink, qilOp{edge: eid, q: q.id, iv: iv})
+		return
+	}
 	m := e.qIL[eid]
 	if m == nil {
 		m = make(map[QueryID]qInterval, 2)

@@ -12,10 +12,18 @@ type IMA struct {
 	set *monitorSet
 }
 
-// NewIMA creates an IMA engine over net. The engine takes ownership of the
-// network's object registry and edge weights.
+// NewIMA creates an IMA engine over net with default options (worker pool
+// sized to GOMAXPROCS). The engine takes ownership of the network's object
+// registry and edge weights.
 func NewIMA(net *roadnet.Network) *IMA {
-	return &IMA{set: newMonitorSet(net, false)}
+	return NewIMAWith(net, Options{})
+}
+
+// NewIMAWith creates an IMA engine over net with the given options.
+func NewIMAWith(net *roadnet.Network, o Options) *IMA {
+	set := newMonitorSet(net, false)
+	set.workers = o.workers()
+	return &IMA{set: set}
 }
 
 // Name implements Engine.

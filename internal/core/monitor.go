@@ -89,11 +89,37 @@ type monitor struct {
 	// non-tree edge-weight changes and must be re-derived at finalize.
 	pendingTouch []roadnet.ObjectID
 
+	// ilDefer, when set, redirects influence-table writes into the given
+	// buffer instead of mutating the shared table: the parallel pipeline
+	// points it at the monitor's shard buffer around finalize so that
+	// shards never write shared state (the buffered ops are applied in the
+	// merge stage).
+	ilDefer *[]ilOp
+
 	// scratch buffers reused across expansions and finalizes
 	heap       *pqueue.Min[graph.NodeID]
 	tent       map[graph.NodeID]tentative
 	idScratch  []roadnet.ObjectID
 	oldScratch []Neighbor
+}
+
+// ilAdd registers edge e for this monitor in the influence table, or defers
+// the write to the shard buffer under the parallel pipeline.
+func (m *monitor) ilAdd(e graph.EdgeID) {
+	if m.ilDefer != nil {
+		*m.ilDefer = append(*m.ilDefer, ilOp{add: true, edge: e})
+		return
+	}
+	m.il.add(e, m.id)
+}
+
+// ilRemove is the removal counterpart of ilAdd.
+func (m *monitor) ilRemove(e graph.EdgeID) {
+	if m.ilDefer != nil {
+		*m.ilDefer = append(*m.ilDefer, ilOp{edge: e})
+		return
+	}
+	m.il.remove(e, m.id)
 }
 
 func newMonitor(net *roadnet.Network, il *ilTable, id QueryID, pos roadnet.Position, k int) *monitor {
@@ -359,10 +385,10 @@ func (m *monitor) rebuildIL() {
 	for i < len(m.affEdges) || j < len(newAff) {
 		switch {
 		case j == len(newAff) || (i < len(m.affEdges) && m.affEdges[i] < newAff[j]):
-			m.il.remove(m.affEdges[i], m.id)
+			m.ilRemove(m.affEdges[i])
 			i++
 		case i == len(m.affEdges) || newAff[j] < m.affEdges[i]:
-			m.il.add(newAff[j], m.id)
+			m.ilAdd(newAff[j])
 			j++
 		default:
 			i++
@@ -380,7 +406,7 @@ func (m *monitor) clearIL() {
 		return
 	}
 	for _, eid := range m.affEdges {
-		m.il.remove(eid, m.id)
+		m.ilRemove(eid)
 	}
 	m.affEdges = m.affEdges[:0]
 }

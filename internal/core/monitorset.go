@@ -23,6 +23,13 @@ type monitorSet struct {
 	// unfiltered disables influence-list lookups: every update is offered
 	// to every monitor (the IMA-NF ablation).
 	unfiltered bool
+	// workers selects the step pipeline: > 1 routes updates through the
+	// sharded parallel pipeline of parallel.go, <= 1 runs serially. Engines
+	// set it from Options; the zero value keeps the serial pipeline.
+	workers int
+	// router holds the parallel pipeline's routing state, reused across
+	// steps.
+	router stepRouter
 }
 
 func newMonitorSet(net *roadnet.Network, trackChanges bool) *monitorSet {
@@ -65,7 +72,17 @@ type queryMove struct {
 // decreases, then increases, then in-tree query moves, then object
 // updates, and finally the per-query finalize. It returns the set of
 // queries whose results changed.
+//
+// With workers > 1 the per-monitor work runs on the sharded parallel
+// pipeline (parallel.go), which produces identical results.
 func (s *monitorSet) step(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
+	if s.workers > 1 && len(s.mons) > 1 {
+		return s.stepParallel(objs, edges, moves)
+	}
+	return s.stepSerial(objs, edges, moves)
+}
+
+func (s *monitorSet) stepSerial(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
 	affected := make(map[QueryID]bool)
 	touched := make(map[QueryID][]roadnet.ObjectID)
 
@@ -112,13 +129,21 @@ func (s *monitorSet) step(objs []ObjectUpdate, edges []EdgeUpdate, moves []query
 	return changed
 }
 
-// applyEdgeUpdates aggregates duplicate per-edge updates (§4.5: multiple
-// weight updates per edge per timestamp collapse into the overall change),
-// splits them into decreases and increases, prunes the trees of the
-// queries in each edge's influence list, and applies the new weights.
-func (s *monitorSet) applyEdgeUpdates(edges []EdgeUpdate, affected map[QueryID]bool) {
+// edgeChange is one aggregated edge-weight change of a timestamp.
+type edgeChange struct {
+	eid        graph.EdgeID
+	oldW, newW float64
+	decrease   bool
+}
+
+// classifyEdgeUpdates aggregates duplicate per-edge updates (§4.5: multiple
+// weight updates per edge per timestamp collapse into the overall change)
+// and splits them into decreases and increases, each sorted by edge id,
+// decreases first — the processing order both pipelines must follow. No-op
+// updates (new weight equals current) are dropped. Weights are not applied.
+func (s *monitorSet) classifyEdgeUpdates(edges []EdgeUpdate) []edgeChange {
 	if len(edges) == 0 {
-		return
+		return nil
 	}
 	agg := make(map[graph.EdgeID]float64, len(edges))
 	order := make([]graph.EdgeID, 0, len(edges))
@@ -128,35 +153,38 @@ func (s *monitorSet) applyEdgeUpdates(edges []EdgeUpdate, affected map[QueryID]b
 		}
 		agg[eu.Edge] = eu.NewW // last update wins: it is the final weight
 	}
-	var decs, incs []graph.EdgeID
+	var decs, incs []edgeChange
 	for _, eid := range order {
 		oldW := s.net.G.Edge(eid).W
 		switch {
 		case agg[eid] < oldW:
-			decs = append(decs, eid)
+			decs = append(decs, edgeChange{eid: eid, oldW: oldW, newW: agg[eid], decrease: true})
 		case agg[eid] > oldW:
-			incs = append(incs, eid)
+			incs = append(incs, edgeChange{eid: eid, oldW: oldW, newW: agg[eid]})
 		}
 	}
-	sort.Slice(decs, func(i, j int) bool { return decs[i] < decs[j] })
-	sort.Slice(incs, func(i, j int) bool { return incs[i] < incs[j] })
+	sort.Slice(decs, func(i, j int) bool { return decs[i].eid < decs[j].eid })
+	sort.Slice(incs, func(i, j int) bool { return incs[i].eid < incs[j].eid })
+	return append(decs, incs...)
+}
 
-	for _, eid := range decs {
-		oldW := s.net.G.Edge(eid).W
-		newW := agg[eid]
-		s.net.G.SetWeight(eid, newW)
-		s.forInfluenced(eid, func(q QueryID) {
-			affected[q] = true
-			s.mons[q].onEdgeDecrease(eid, oldW, newW)
-		})
-	}
-	for _, eid := range incs {
-		newW := agg[eid]
-		s.net.G.SetWeight(eid, newW)
-		s.forInfluenced(eid, func(q QueryID) {
-			affected[q] = true
-			s.mons[q].onEdgeIncrease(eid)
-		})
+// applyEdgeUpdates applies the aggregated weight changes, decreases
+// strictly before increases, pruning the trees of the queries in each
+// edge's influence list as it goes.
+func (s *monitorSet) applyEdgeUpdates(edges []EdgeUpdate, affected map[QueryID]bool) {
+	for _, ec := range s.classifyEdgeUpdates(edges) {
+		s.net.G.SetWeight(ec.eid, ec.newW)
+		if ec.decrease {
+			s.forInfluenced(ec.eid, func(q QueryID) {
+				affected[q] = true
+				s.mons[q].onEdgeDecrease(ec.eid, ec.oldW, ec.newW)
+			})
+		} else {
+			s.forInfluenced(ec.eid, func(q QueryID) {
+				affected[q] = true
+				s.mons[q].onEdgeIncrease(ec.eid)
+			})
+		}
 	}
 }
 

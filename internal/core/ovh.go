@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"roadknn/internal/roadnet"
 )
 
@@ -10,17 +12,30 @@ import (
 // (lines 10 and 28), so OVH maintains the edge table's influence lists like
 // the original — it just never exploits them.
 type OVH struct {
-	net  *roadnet.Network
-	il   *ilTable
-	mons map[QueryID]*monitor
+	net     *roadnet.Network
+	il      *ilTable
+	mons    map[QueryID]*monitor
+	workers int
+	// stepIDs / stepBufs are the parallel recompute stage's shard list and
+	// per-shard influence-op buffers, retained across steps to amortize
+	// allocations.
+	stepIDs  []QueryID
+	stepBufs [][]ilOp
 }
 
-// NewOVH creates an OVH engine over net.
+// NewOVH creates an OVH engine over net with default options (worker pool
+// sized to GOMAXPROCS).
 func NewOVH(net *roadnet.Network) *OVH {
+	return NewOVHWith(net, Options{})
+}
+
+// NewOVHWith creates an OVH engine over net with the given options.
+func NewOVHWith(net *roadnet.Network, o Options) *OVH {
 	return &OVH{
-		net:  net,
-		il:   newILTable(net.G.NumEdges()),
-		mons: make(map[QueryID]*monitor),
+		net:     net,
+		il:      newILTable(net.G.NumEdges()),
+		mons:    make(map[QueryID]*monitor),
+		workers: o.workers(),
 	}
 }
 
@@ -76,8 +91,44 @@ func (e *OVH) Step(u Updates) {
 			}
 		}
 	}
-	for _, m := range e.mons {
-		m.computeInitial()
+	// Recompute every query from scratch. Queries are independent here —
+	// each reads the (now final) shared network and writes only its own
+	// monitor — so the per-query searches fan out over the worker pool,
+	// with influence-table writes deferred into per-shard buffers and
+	// merged in ascending query order.
+	ids := e.stepIDs[:0]
+	for id := range e.mons {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	e.stepIDs = ids
+	if e.workers > 1 && len(ids) > 1 {
+		for len(e.stepBufs) < len(ids) {
+			e.stepBufs = append(e.stepBufs, nil)
+		}
+		bufs := e.stepBufs[:len(ids)]
+		for i := range bufs {
+			bufs[i] = bufs[i][:0]
+		}
+		runShards(e.workers, len(ids), func(i int) {
+			m := e.mons[ids[i]]
+			m.ilDefer = &bufs[i]
+			m.computeInitial()
+			m.ilDefer = nil
+		})
+		for i, id := range ids {
+			for _, op := range bufs[i] {
+				if op.add {
+					e.il.add(op.edge, id)
+				} else {
+					e.il.remove(op.edge, id)
+				}
+			}
+		}
+	} else {
+		for _, id := range ids {
+			e.mons[id].computeInitial()
+		}
 	}
 }
 

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// This file implements the parallel sharded Step pipeline shared by the
+// three engines. One timestamp is processed in three stages:
+//
+//  1. route (serial): shared network state is mutated exactly as in serial
+//     execution (edge weights, object registry) while every update is routed
+//     — via the influence lists — to the monitors it can affect, producing
+//     one ordered op list per monitor;
+//  2. shard (parallel): each affected monitor replays its op list and runs
+//     finalize on a bounded worker pool. Monitors only read shared state
+//     (which is frozen after routing) and write their own; the one shared
+//     structure they would write — the influence table — is redirected into
+//     a per-shard buffer;
+//  3. merge (serial): the per-shard influence-table buffers are applied in
+//     ascending monitor order and the per-shard change flags are collected.
+//
+// Replaying a monitor's ops in routing order reproduces the exact call
+// sequence serial execution would have made on that monitor (edge decreases,
+// then increases, then in-tree moves, then object classifications), and the
+// classification predicates (candidateSet.contains, monitor.covers) read
+// only the monitor's own state plus frozen shared state, so the parallel
+// pipeline produces results identical to serial execution.
+
+// Options configures engine construction.
+type Options struct {
+	// Workers is the number of goroutines used for the per-shard phases of
+	// Step. 0 means runtime.GOMAXPROCS(0); 1 selects the serial pipeline.
+	Workers int
+}
+
+// workers resolves the configured worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runShards executes fn(i) for every i in [0, n) on min(workers, n)
+// goroutines pulling indices from a shared atomic counter. It returns after
+// all calls complete. With workers <= 1 it degenerates to a plain loop.
+func runShards(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ilOp is a deferred influence-table mutation emitted by a monitor running
+// on a shard (the owning QueryID is implied by the shard).
+type ilOp struct {
+	add  bool
+	edge graph.EdgeID
+}
+
+// opKind discriminates the per-monitor ops produced by routing.
+type opKind uint8
+
+const (
+	// opEdgeDec replays monitor.onEdgeDecrease(edge, oldW, newW).
+	opEdgeDec opKind = iota
+	// opEdgeInc replays monitor.onEdgeIncrease(edge).
+	opEdgeInc
+	// opMove replays monitor.onMove(pos) (in-tree moves only; out-of-tree
+	// moves are resolved during routing by flagging needRecompute).
+	opMove
+	// opOutgoing classifies object obj, which left position old, against the
+	// monitor's candidate set (markOutgoing deferred to the shard).
+	opOutgoing
+	// opIncoming classifies object obj appearing at pos against the
+	// monitor's influence region (markIncoming deferred to the shard).
+	opIncoming
+)
+
+// monOp is one routed update for one monitor.
+type monOp struct {
+	kind       opKind
+	edge       graph.EdgeID
+	obj        roadnet.ObjectID
+	pos        roadnet.Position
+	oldW, newW float64
+}
+
+// monWork is one shard: a monitor's routed ops plus its per-shard outputs.
+type monWork struct {
+	id  QueryID
+	ops []monOp
+	// pre marks monitors affected during routing itself (query moves),
+	// which must finalize even with an empty op list.
+	pre bool
+
+	// shard outputs, written only by the worker processing this entry
+	touched []roadnet.ObjectID
+	ilOps   []ilOp
+	changed bool
+}
+
+// stepRouter accumulates the per-monitor work lists of one timestamp. It is
+// owned by a monitorSet and reused across steps to amortize allocations.
+type stepRouter struct {
+	index map[QueryID]int32
+	works []monWork
+}
+
+func (r *stepRouter) reset() {
+	if r.index == nil {
+		r.index = make(map[QueryID]int32)
+	}
+	clear(r.index)
+	r.works = r.works[:0]
+}
+
+// work returns the (possibly new) work entry for monitor id. The pointer is
+// only valid until the next work call.
+func (r *stepRouter) work(id QueryID) *monWork {
+	if i, ok := r.index[id]; ok {
+		return &r.works[i]
+	}
+	r.index[id] = int32(len(r.works))
+	if len(r.works) < cap(r.works) {
+		// Reuse the retained entry's slice capacity.
+		r.works = r.works[:len(r.works)+1]
+		w := &r.works[len(r.works)-1]
+		*w = monWork{id: id, ops: w.ops[:0], touched: w.touched[:0], ilOps: w.ilOps[:0]}
+		return w
+	}
+	r.works = append(r.works, monWork{id: id})
+	return &r.works[len(r.works)-1]
+}
+
+// sortByID orders the shards by monitor id so that worker scheduling and
+// the merge phase are deterministic. The id index is invalidated.
+func (r *stepRouter) sortByID() {
+	sort.Slice(r.works, func(i, j int) bool { return r.works[i].id < r.works[j].id })
+}
+
+// stepParallel is the parallel counterpart of monitorSet.stepSerial: same
+// update semantics, per-monitor work fanned out over the worker pool.
+func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
+	r := &s.router
+	r.reset()
+
+	// Route stage. Order mirrors stepSerial exactly.
+	//
+	// Fig. 10 lines 1-3: out-of-tree query moves are resolved here — the
+	// covers test must see pre-update weights and trees — while in-tree
+	// moves are held back until after the edge ops, as in serial execution.
+	pendingMoves := moves[:0:0]
+	for _, mv := range moves {
+		m, ok := s.mons[mv.id]
+		if !ok {
+			continue
+		}
+		r.work(mv.id).pre = true
+		if !m.covers(mv.pos) {
+			m.pos = mv.pos
+			m.needRecompute = true
+			continue
+		}
+		pendingMoves = append(pendingMoves, mv)
+	}
+
+	// Lines 4-13: edge updates. Weights are applied to the shared graph now;
+	// the tree-pruning handlers are queued (they never read edge weights —
+	// the changed weight travels inside the op).
+	for _, ec := range s.classifyEdgeUpdates(edges) {
+		s.net.G.SetWeight(ec.eid, ec.newW)
+		kind := opEdgeInc
+		if ec.decrease {
+			kind = opEdgeDec
+		}
+		s.forInfluenced(ec.eid, func(q QueryID) {
+			w := r.work(q)
+			w.ops = append(w.ops, monOp{kind: kind, edge: ec.eid, oldW: ec.oldW, newW: ec.newW})
+		})
+	}
+
+	// Lines 14-15: in-tree query moves, queued after the edge ops.
+	for _, mv := range pendingMoves {
+		w := r.work(mv.id)
+		w.ops = append(w.ops, monOp{kind: opMove, pos: mv.pos})
+	}
+
+	// Lines 16-19: object updates. The registry is mutated now; the
+	// per-monitor classification predicates (contains / covers) read only
+	// monitor state and are deferred to the shard, where they run with the
+	// same per-monitor state as in serial execution.
+	for _, ou := range objs {
+		switch {
+		case ou.Insert:
+			s.net.AddObject(ou.ID, ou.New)
+			s.routeIncoming(ou.ID, ou.New, r)
+		case ou.Delete:
+			old, ok := s.net.RemoveObject(ou.ID)
+			if !ok {
+				continue
+			}
+			s.routeOutgoing(ou.ID, old, r)
+		default:
+			old := s.net.MoveObject(ou.ID, ou.New)
+			s.routeOutgoing(ou.ID, old, r)
+			s.routeIncoming(ou.ID, ou.New, r)
+		}
+	}
+
+	// Shard stage: replay each monitor's ops and finalize (lines 20-26).
+	r.sortByID()
+	runShards(s.workers, len(r.works), func(i int) {
+		w := &r.works[i]
+		m, ok := s.mons[w.id]
+		if !ok {
+			return
+		}
+		affected := w.pre
+		for _, op := range w.ops {
+			switch op.kind {
+			case opEdgeDec:
+				affected = true
+				m.onEdgeDecrease(op.edge, op.oldW, op.newW)
+			case opEdgeInc:
+				affected = true
+				m.onEdgeIncrease(op.edge)
+			case opMove:
+				m.onMove(op.pos)
+			case opOutgoing:
+				if m.cand.contains(op.obj) {
+					affected = true
+					w.touched = append(w.touched, op.obj)
+				}
+			case opIncoming:
+				if m.covers(op.pos) {
+					affected = true
+					w.touched = append(w.touched, op.obj)
+				}
+			}
+		}
+		if !affected {
+			return
+		}
+		m.ilDefer = &w.ilOps
+		w.changed = m.finalize(w.touched, s.trackChanges)
+		m.ilDefer = nil
+	})
+
+	// Merge stage: apply influence-table mutations in ascending monitor
+	// order and collect the change flags.
+	changed := make(map[QueryID]bool)
+	for i := range r.works {
+		w := &r.works[i]
+		for _, op := range w.ilOps {
+			if op.add {
+				s.il.add(op.edge, w.id)
+			} else {
+				s.il.remove(op.edge, w.id)
+			}
+		}
+		if w.changed {
+			changed[w.id] = true
+		}
+	}
+	return changed
+}
+
+func (s *monitorSet) routeOutgoing(id roadnet.ObjectID, old roadnet.Position, r *stepRouter) {
+	s.forInfluenced(old.Edge, func(q QueryID) {
+		w := r.work(q)
+		w.ops = append(w.ops, monOp{kind: opOutgoing, obj: id})
+	})
+}
+
+func (s *monitorSet) routeIncoming(id roadnet.ObjectID, pos roadnet.Position, r *stepRouter) {
+	s.forInfluenced(pos.Edge, func(q QueryID) {
+		w := r.work(q)
+		w.ops = append(w.ops, monOp{kind: opIncoming, obj: id, pos: pos})
+	})
+}

@@ -16,6 +16,8 @@ package crnn
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"roadknn/internal/graph"
 	"roadknn/internal/pqueue"
@@ -48,10 +50,24 @@ type Monitor struct {
 	assign map[roadnet.ObjectID]Assignment
 	rnn    map[QueryID][]roadnet.ObjectID
 	heap   *pqueue.Min[graph.NodeID]
+
+	// workers sizes the pool for the per-object assignment scan; the
+	// labeling expansion itself is one shared Dijkstra and stays serial.
+	workers int
 }
 
-// New creates a monitor over net.
+// New creates a monitor over net with one worker per available CPU.
 func New(net *roadnet.Network) *Monitor {
+	return NewWith(net, 0)
+}
+
+// NewWith creates a monitor over net using the given number of workers for
+// the per-object assignment scan — the same convention as core.Options:
+// values below 1 mean GOMAXPROCS, 1 means serial.
+func NewWith(net *roadnet.Network, workers int) *Monitor {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Monitor{
 		net:     net,
 		queries: make(map[QueryID]roadnet.Position),
@@ -60,6 +76,7 @@ func New(net *roadnet.Network) *Monitor {
 		assign:  make(map[roadnet.ObjectID]Assignment),
 		rnn:     make(map[QueryID][]roadnet.ObjectID),
 		heap:    pqueue.New[graph.NodeID](64),
+		workers: workers,
 	}
 }
 
@@ -196,7 +213,11 @@ func (m *Monitor) Refresh() {
 		}
 	}
 
-	// Assign every object to its nearest query.
+	// Assign every object to its nearest query. Each object's assignment
+	// depends only on the frozen labeling, so the scan shards the edge
+	// range over the worker pool, each worker collecting assignments for
+	// its contiguous chunk of edges; the chunks are merged in edge order,
+	// making the rnn slices deterministic regardless of worker count.
 	clear(m.assign)
 	for q := range m.rnn {
 		m.rnn[q] = m.rnn[q][:0]
@@ -205,27 +226,78 @@ func (m *Monitor) Refresh() {
 	for qid, pos := range m.queries {
 		sameEdge[pos.Edge] = append(sameEdge[pos.Edge], qid)
 	}
-	m.net.ForEachObject(func(id roadnet.ObjectID, pos roadnet.Position) {
-		e := g.Edge(pos.Edge)
-		best := Assignment{Query: NoQuery, Dist: math.Inf(1)}
-		consider := func(q QueryID, d float64) {
-			if q == NoQuery {
-				return
+
+	assignOn := func(eid graph.EdgeID, out []objAssign) []objAssign {
+		e := g.Edge(eid)
+		for _, oe := range m.net.ObjectsOn(eid) {
+			pos := roadnet.Position{Edge: eid, Frac: oe.Frac}
+			best := Assignment{Query: NoQuery, Dist: math.Inf(1)}
+			consider := func(q QueryID, d float64) {
+				if q == NoQuery {
+					return
+				}
+				if d < best.Dist || (d == best.Dist && q < best.Query) {
+					best = Assignment{Query: q, Dist: d}
+				}
 			}
-			if d < best.Dist || (d == best.Dist && q < best.Query) {
-				best = Assignment{Query: q, Dist: d}
+			consider(m.label[e.U], m.dist[e.U]+pos.Frac*e.W)
+			consider(m.label[e.V], m.dist[e.V]+(1-pos.Frac)*e.W)
+			for _, qid := range sameEdge[eid] {
+				consider(qid, m.net.ArcCost(pos, m.queries[qid]))
+			}
+			if best.Query != NoQuery {
+				out = append(out, objAssign{id: oe.ID, a: best})
 			}
 		}
-		consider(m.label[e.U], m.dist[e.U]+pos.Frac*e.W)
-		consider(m.label[e.V], m.dist[e.V]+(1-pos.Frac)*e.W)
-		for _, qid := range sameEdge[pos.Edge] {
-			consider(qid, m.net.ArcCost(pos, m.queries[qid]))
+		return out
+	}
+
+	numEdges := g.NumEdges()
+	workers := m.workers
+	if workers > numEdges {
+		workers = numEdges
+	}
+	if workers <= 1 {
+		var buf []objAssign
+		for eid := 0; eid < numEdges; eid++ {
+			buf = assignOn(graph.EdgeID(eid), buf)
 		}
-		if best.Query != NoQuery {
-			m.assign[id] = best
-			m.rnn[best.Query] = append(m.rnn[best.Query], id)
-		}
-	})
+		m.commitAssignments(buf)
+		return
+	}
+	chunks := make([][]objAssign, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := numEdges * w / workers
+			hi := numEdges * (w + 1) / workers
+			var buf []objAssign
+			for eid := lo; eid < hi; eid++ {
+				buf = assignOn(graph.EdgeID(eid), buf)
+			}
+			chunks[w] = buf
+		}(w)
+	}
+	wg.Wait()
+	for _, buf := range chunks {
+		m.commitAssignments(buf)
+	}
+}
+
+// objAssign is one object's computed assignment, buffered per shard during
+// the parallel scan.
+type objAssign struct {
+	id roadnet.ObjectID
+	a  Assignment
+}
+
+func (m *Monitor) commitAssignments(buf []objAssign) {
+	for _, oa := range buf {
+		m.assign[oa.id] = oa.a
+		m.rnn[oa.a.Query] = append(m.rnn[oa.a.Query], oa.id)
+	}
 }
 
 // ReverseNN returns the objects currently closer to query id than to any

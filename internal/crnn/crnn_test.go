@@ -212,3 +212,99 @@ func TestRandomizedAgainstOracle(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelScanMatchesSerial drives monitors at worker counts 1, 4 and
+// 9 over identical update streams (each on its own network copy) and
+// requires identical assignments — and identical rnn slices, since the
+// parallel scan merges edge chunks in order — every timestamp. The worker
+// counts deliberately exceed GOMAXPROCS on small machines: the chunked
+// code path runs regardless of physical cores.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	workerCounts := []int{1, 4, 9}
+	build := func() *roadnet.Network {
+		return roadnet.NewNetwork(gen.SanFranciscoLike(120, 5))
+	}
+	insts := make([]*Monitor, len(workerCounts))
+	for i, w := range workerCounts {
+		insts[i] = NewWith(build(), w)
+	}
+	rng := rand.New(rand.NewSource(5))
+	world := build()
+	queries := map[QueryID]roadnet.Position{}
+	for q := 0; q < 6; q++ {
+		pos := world.UniformPosition(rng)
+		queries[QueryID(q)] = pos
+		for _, m := range insts {
+			m.Register(QueryID(q), pos)
+		}
+	}
+	for o := 0; o < 50; o++ {
+		pos := world.UniformPosition(rng)
+		world.AddObject(roadnet.ObjectID(o), pos)
+		for _, m := range insts {
+			m.net.AddObject(roadnet.ObjectID(o), pos)
+		}
+	}
+	for _, m := range insts {
+		m.Refresh()
+	}
+
+	check := func(ts int) {
+		t.Helper()
+		serial := insts[0]
+		for i := 1; i < len(insts); i++ {
+			par := insts[i]
+			for o := 0; o < 50; o++ {
+				id := roadnet.ObjectID(o)
+				got, gok := par.NearestQuery(id)
+				want, wok := serial.NearestQuery(id)
+				if gok != wok || got != want {
+					t.Fatalf("ts %d workers=%d obj %d: %+v,%v want %+v,%v",
+						ts, workerCounts[i], o, got, gok, want, wok)
+				}
+			}
+			for q := range queries {
+				g, w := par.ReverseNN(q), serial.ReverseNN(q)
+				if len(g) != len(w) {
+					t.Fatalf("ts %d workers=%d query %d: rnn %v want %v", ts, workerCounts[i], q, g, w)
+				}
+				for j := range g {
+					if g[j] != w[j] {
+						t.Fatalf("ts %d workers=%d query %d: rnn order %v want %v", ts, workerCounts[i], q, g, w)
+					}
+				}
+			}
+		}
+	}
+	check(0)
+
+	for ts := 1; ts <= 8; ts++ {
+		var u Updates
+		for o := 0; o < 50; o++ {
+			if rng.Float64() < 0.3 {
+				id := roadnet.ObjectID(o)
+				old, _ := world.ObjectPos(id)
+				np := world.RandomWalk(old, rng.Float64()*2, 0, rng)
+				world.MoveObject(id, np)
+				u.Objects = append(u.Objects, ObjectUpdate{ID: id, Old: old, New: np})
+			}
+		}
+		for q := range queries {
+			if rng.Float64() < 0.3 {
+				np := world.RandomWalk(queries[q], rng.Float64()*2, 0, rng)
+				queries[q] = np
+				u.Queries = append(u.Queries, QueryUpdate{ID: q, New: np})
+			}
+		}
+		for i := 0; i < 6; i++ {
+			eid := graph.EdgeID(rng.Intn(world.G.NumEdges()))
+			nw := world.G.Edge(eid).W * 1.1
+			world.G.SetWeight(eid, nw)
+			u.Edges = append(u.Edges, EdgeUpdate{Edge: eid, NewW: nw})
+		}
+		for _, m := range insts {
+			m.Step(u)
+		}
+		check(ts)
+	}
+}

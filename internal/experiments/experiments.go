@@ -42,17 +42,38 @@ type Experiment struct {
 	Shape string
 }
 
-// Engines maps names to constructors, including the ablation variants
-// (IMA without influence-list filtering, GMA with the naive Lemma-1
-// evaluation).
+// Engines maps names to constructors with default options, including the
+// ablation variants (IMA without influence-list filtering, GMA with the
+// naive Lemma-1 evaluation).
 func Engines() map[string]func(*roadnet.Network) core.Engine {
 	return map[string]func(*roadnet.Network) core.Engine{
-		"OVH":       func(n *roadnet.Network) core.Engine { return core.NewOVH(n) },
-		"IMA":       func(n *roadnet.Network) core.Engine { return core.NewIMA(n) },
-		"GMA":       func(n *roadnet.Network) core.Engine { return core.NewGMA(n) },
-		"IMA-NF":    func(n *roadnet.Network) core.Engine { return core.NewIMAUnfiltered(n) },
-		"GMA-naive": func(n *roadnet.Network) core.Engine { return core.NewGMANaive(n) },
+		"OVH":       EngineFor("OVH", 0),
+		"IMA":       EngineFor("IMA", 0),
+		"GMA":       EngineFor("GMA", 0),
+		"IMA-NF":    EngineFor("IMA-NF", 0),
+		"GMA-naive": EngineFor("GMA-naive", 0),
 	}
+}
+
+// EngineFor returns the constructor for the named engine with the given
+// worker-pool size (0 = GOMAXPROCS, 1 = serial), or nil for an unknown
+// name. This is how the harness threads the Config.Workers axis into
+// engine construction.
+func EngineFor(name string, workers int) func(*roadnet.Network) core.Engine {
+	o := core.Options{Workers: workers}
+	switch name {
+	case "OVH":
+		return func(n *roadnet.Network) core.Engine { return core.NewOVHWith(n, o) }
+	case "IMA":
+		return func(n *roadnet.Network) core.Engine { return core.NewIMAWith(n, o) }
+	case "GMA":
+		return func(n *roadnet.Network) core.Engine { return core.NewGMAWith(n, o) }
+	case "IMA-NF":
+		return func(n *roadnet.Network) core.Engine { return core.NewIMAUnfilteredWith(n, o) }
+	case "GMA-naive":
+		return func(n *roadnet.Network) core.Engine { return core.NewGMANaiveWith(n, o) }
+	}
+	return nil
 }
 
 var allEngines = []string{"OVH", "IMA", "GMA"}
@@ -64,6 +85,12 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 	base := workload.Default()
 	base.Seed = seed
 	base.Timestamps = timestamps
+	// The paper figures measure the serial algorithms' CPU time per
+	// timestamp; the worker pool would fold multi-core speedup into the
+	// metric and distort the engine ratios, so figures pin Workers to 1.
+	// Only the scalability sweep (and an explicit benchrunner -workers
+	// override) varies it.
+	base.Workers = 1
 
 	mk := func(mut func(*workload.Config)) workload.Config {
 		cfg := base
@@ -303,6 +330,22 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		exps = append(exps, e)
 	}
 
+	// Scalability S1: the parallel sharded pipeline — CPU vs worker-pool
+	// size at the default workload (not a paper figure; supports the
+	// ROADMAP's multi-core scaling goal).
+	{
+		e := Experiment{
+			ID: "sw", Title: "Scalability: CPU time vs worker-pool size",
+			Param: "workers", Metric: CPU, Engines: allEngines,
+			Shape: "per-step time drops with workers for all engines until routing dominates; results identical to serial",
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			w := w
+			e.Points = append(e.Points, Point{fmt.Sprint(w), mk(func(c *workload.Config) { c.Workers = w })})
+		}
+		exps = append(exps, e)
+	}
+
 	// Ablation A1: value of influence-list filtering (DESIGN.md §7).
 	{
 		e := Experiment{
@@ -345,9 +388,10 @@ func ByID(exps []Experiment, id string) *Experiment {
 }
 
 // Cell runs one engine at one point and returns the measured value in the
-// experiment's metric (seconds/ts for CPU, KBytes for Mem).
+// experiment's metric (seconds/ts for CPU, KBytes for Mem). The point's
+// Workers setting is threaded into the engine constructor.
 func Cell(e *Experiment, p Point, engine string) float64 {
-	res := workload.Run(p.Cfg, Engines()[engine])
+	res := workload.Run(p.Cfg, EngineFor(engine, p.Cfg.Workers))
 	if e.Metric == Mem {
 		return float64(res.AvgSizeBytes) / 1024.0
 	}

@@ -12,8 +12,18 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 		"f13a", "f13b", "f14a", "f14b", "f15a", "f15b",
 		"f16a", "f16b", "f17a", "f17b", "f18a", "f18b", "f19a", "f19b",
 	}
-	if len(exps) != len(want)+2 { // +2 ablation experiments
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+2)
+	// +2 ablation experiments, +1 worker-scalability sweep
+	if len(exps) != len(want)+3 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+3)
+	}
+	sw := ByID(exps, "sw")
+	if sw == nil {
+		t.Fatal("missing workers scalability sweep")
+	}
+	for i, p := range sw.Points {
+		if p.Cfg.Workers < 1 {
+			t.Fatalf("sw point %d has Workers %d", i, p.Cfg.Workers)
+		}
 	}
 	for _, id := range want {
 		e := ByID(exps, id)

@@ -46,6 +46,9 @@ type Config struct {
 	Timestamps  int
 	Movement    Movement
 	Oldenburg   bool // use the Oldenburg-like network (Figure 19)
+	// Workers is the engine worker-pool size for the run (0 = GOMAXPROCS,
+	// 1 = serial); it parameterizes the scalability sweeps.
+	Workers int
 }
 
 // Default returns the paper's default setting (Table 2).

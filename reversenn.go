@@ -34,10 +34,18 @@ type (
 	ReverseAssignment = crnn.Assignment
 )
 
-// NewReverseMonitor creates a reverse-NN monitor over net. The monitor
-// owns the network: apply updates only through Step.
+// NewReverseMonitor creates a reverse-NN monitor over net with default
+// options. The monitor owns the network: apply updates only through Step.
 func NewReverseMonitor(net *Network) *ReverseMonitor {
 	return &ReverseMonitor{m: crnn.New(net)}
+}
+
+// NewReverseMonitorWith creates a reverse-NN monitor configured by opts:
+// the per-object assignment scan of each timestamp runs on Options.Workers
+// goroutines (serial when 1, GOMAXPROCS when <= 0 — the same resolution
+// the forward engines use).
+func NewReverseMonitorWith(net *Network, opts Options) *ReverseMonitor {
+	return &ReverseMonitor{m: crnn.NewWith(net, opts.Workers)}
 }
 
 // Register installs query id at pos; call Refresh or Step afterwards.

@@ -74,16 +74,35 @@ type (
 	QueryUpdate = core.QueryUpdate
 	// EdgeUpdate reports an edge weight change.
 	EdgeUpdate = core.EdgeUpdate
+	// Options configures engine construction. The zero value selects the
+	// defaults (worker pool sized to runtime.GOMAXPROCS).
+	Options = core.Options
 )
 
-// NewOVH returns the overhaul baseline engine over net.
+// NewOVH returns the overhaul baseline engine over net with default
+// options.
 func NewOVH(net *Network) Engine { return core.NewOVH(net) }
 
-// NewIMA returns the incremental monitoring algorithm engine over net.
+// NewIMA returns the incremental monitoring algorithm engine over net with
+// default options.
 func NewIMA(net *Network) Engine { return core.NewIMA(net) }
 
-// NewGMA returns the group monitoring algorithm engine over net.
+// NewGMA returns the group monitoring algorithm engine over net with
+// default options.
 func NewGMA(net *Network) Engine { return core.NewGMA(net) }
+
+// NewOVHWith returns the overhaul baseline engine configured by opts.
+func NewOVHWith(net *Network, opts Options) Engine { return core.NewOVHWith(net, opts) }
+
+// NewIMAWith returns the incremental monitoring algorithm engine configured
+// by opts.
+func NewIMAWith(net *Network, opts Options) Engine { return core.NewIMAWith(net, opts) }
+
+// NewGMAWith returns the group monitoring algorithm engine configured by
+// opts. Every engine processes each timestamp's per-query work on a worker
+// pool of Options.Workers goroutines (serial when 1), producing results
+// identical to serial execution.
+func NewGMAWith(net *Network, opts Options) Engine { return core.NewGMAWith(net, opts) }
 
 // GenerateNetwork produces a synthetic road network with approximately the
 // given number of edges (San-Francisco-like statistics: planar, degree 3-4
