@@ -1,0 +1,46 @@
+package roadknn_test
+
+// Allocation-regression guard for the zero-allocation expansion core: a
+// warmed IMA/GMA Step must stay well under a generous allocation ceiling.
+// Before the arena/treeStore refactor a step at this workload performed
+// ~2000 (IMA) / ~1400 (GMA) heap allocations; afterwards it performs well
+// under 200 including workload generation. The ceiling is deliberately
+// loose — machine-independent headroom, catching only order-of-magnitude
+// regressions (a reintroduced per-step map or per-expansion buffer).
+
+import (
+	"testing"
+
+	"roadknn/internal/experiments"
+	"roadknn/internal/workload"
+)
+
+func TestStepAllocationRegression(t *testing.T) {
+	// Includes GenerateStep's own allocations (update batch slices), which
+	// AllocsPerRun cannot exclude; the refactored engines sit at ~100-200
+	// allocs per step here.
+	const ceiling = 600
+
+	cfg := workload.Default().Scale(0.1)
+	cfg.Seed = 1
+	cfg.Workers = 1
+	for _, engName := range []string{"IMA", "GMA"} {
+		t.Run(engName, func(t *testing.T) {
+			r, _ := workload.NewRunner(cfg, experiments.EngineFor(engName, 1))
+			eng := r.Engine()
+			// Warm until edge object lists, per-monitor trees and arena
+			// buffers reach steady state.
+			for i := 0; i < 15; i++ {
+				eng.Step(r.GenerateStep())
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				eng.Step(r.GenerateStep())
+			})
+			t.Logf("%s: %.1f allocs per warmed Step (ceiling %d)", engName, avg, ceiling)
+			if avg > ceiling {
+				t.Fatalf("%s Step allocates %.1f times per call, above the regression ceiling %d",
+					engName, avg, ceiling)
+			}
+		})
+	}
+}

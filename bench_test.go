@@ -98,6 +98,39 @@ func BenchmarkFigureParallelStep(b *testing.B) {
 	}
 }
 
+// BenchmarkFigureStepAllocs measures one monitoring Step per engine with
+// workload generation excluded from the timed (and allocation-counted)
+// region, so allocs/op and B/op reflect the engines' expansion core alone.
+// This is the benchmark behind the allocation trajectory in BENCH_*.json.
+func BenchmarkFigureStepAllocs(b *testing.B) {
+	exps := experiments.All(benchScale, benchTimestamps, 1)
+	e := experiments.ByID(exps, "sw")
+	if e == nil {
+		b.Fatal("unknown experiment sw")
+	}
+	p := e.Points[0]
+	for _, engName := range e.Engines {
+		b.Run(engName, func(b *testing.B) {
+			r, _ := workload.NewRunner(p.Cfg, experiments.EngineFor(engName, 1))
+			eng := r.Engine()
+			// Warm the per-monitor and per-worker buffers so the steady
+			// state is measured, not first-touch growth (edge object lists
+			// and per-monitor scratch converge over the first ~dozen steps).
+			for i := 0; i < 12; i++ {
+				eng.Step(r.GenerateStep())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				u := r.GenerateStep()
+				b.StartTimer()
+				eng.Step(u)
+			}
+		})
+	}
+}
+
 // BenchmarkInitialComputation measures the Figure-2 from-scratch search
 // (initial result computation) per query, across k values.
 func BenchmarkInitialComputation(b *testing.B) {

@@ -9,29 +9,70 @@
 //	benchrunner -exp f13b                # one figure
 //	benchrunner -exp all -scale 0.25     # full suite at quarter scale
 //	benchrunner -exp f14a -scale 1 -ts 100  # paper-scale run
+//	benchrunner -exp sw -json out.json   # machine-readable trajectory file
 //
 // Absolute numbers depend on the machine; the shapes (who wins, by what
 // factor, where the crossovers fall) are what reproduce the paper.
+//
+// With -json the per-engine measurements (ns/step, allocs/step, bytes/step,
+// worker count and the full workload config) are additionally written as a
+// machine-readable document, the format of the repository's BENCH_*.json
+// benchmark-trajectory files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"roadknn/internal/experiments"
+	"roadknn/internal/workload"
 )
+
+// jsonResult is one engine at one sweep point in the -json output.
+type jsonResult struct {
+	Exp           string          `json:"exp"`
+	Point         string          `json:"point"`
+	Engine        string          `json:"engine"`
+	Metric        string          `json:"metric"` // "cpu" or "mem"
+	Unit          string          `json:"unit"`
+	Value         float64         `json:"value"`
+	NsPerStep     float64         `json:"ns_per_step"`
+	AllocsPerStep float64         `json:"allocs_per_step"`
+	BytesPerStep  float64         `json:"bytes_per_step"`
+	SizeBytes     int             `json:"size_bytes"`
+	Workers       int             `json:"workers"`
+	Config        workload.Config `json:"config"`
+}
+
+// jsonDoc is the top-level -json document (schema roadknn-bench/v1).
+type jsonDoc struct {
+	Schema     string       `json:"schema"`
+	CreatedAt  string       `json:"created_at"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	Scale      float64      `json:"scale"`
+	Timestamps int          `json:"timestamps"`
+	Seed       int64        `json:"seed"`
+	Results    []jsonResult `json:"results"`
+}
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id (e.g. f13a) or 'all'")
-		scale   = flag.Float64("scale", 0.25, "workload scale factor (1 = paper scale)")
-		ts      = flag.Int("ts", 20, "timestamps per run (paper: 100)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", -1, "engine worker-pool size (-1 = registry default: figures serial, 0 = GOMAXPROCS, 1 = serial); the 'sw' sweep always sets its own axis")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csv     = flag.String("csv", "", "also append results as CSV to this file")
+		expID    = flag.String("exp", "all", "experiment id (e.g. f13a) or 'all'")
+		scale    = flag.Float64("scale", 0.25, "workload scale factor (1 = paper scale)")
+		ts       = flag.Int("ts", 20, "timestamps per run (paper: 100)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", -1, "engine worker-pool size (-1 = registry default: figures serial, 0 = GOMAXPROCS, 1 = serial); the 'sw' sweep always sets its own axis")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.String("csv", "", "also append results as CSV to this file")
+		jsonPath = flag.String("json", "", "write machine-readable per-engine results (ns/step, allocs/step, bytes/step, workers, config) to this file")
 	)
 	flag.Parse()
 
@@ -78,15 +119,44 @@ func main() {
 		csvFile = f
 	}
 
+	var doc *jsonDoc
+	if *jsonPath != "" {
+		doc = &jsonDoc{
+			Schema:     "roadknn-bench/v1",
+			CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			Scale:      *scale,
+			Timestamps: *ts,
+			Seed:       *seed,
+		}
+	}
+
 	for _, e := range toRun {
-		runExperiment(&e, *scale, *ts, csvFile)
+		runExperiment(&e, *scale, *ts, csvFile, doc)
+	}
+
+	if doc != nil {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal json: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d results to %s\n", len(doc.Results), *jsonPath)
 	}
 }
 
-func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os.File) {
-	unit := "s/ts"
+func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os.File, doc *jsonDoc) {
+	unit, metric := "s/ts", "cpu"
 	if e.Metric == experiments.Mem {
-		unit = "KB"
+		unit, metric = "KB", "mem"
 	}
 	fmt.Printf("\n== %s: %s (scale %g, %d ts) ==\n", strings.ToUpper(e.ID), e.Title, scale, ts)
 	fmt.Printf("   paper shape: %s\n", e.Shape)
@@ -98,10 +168,27 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 	for _, p := range e.Points {
 		fmt.Printf("%12s", p.Label)
 		for _, eng := range e.Engines {
-			v := experiments.Cell(e, p, eng)
+			res := experiments.RunPoint(p, eng)
+			v := experiments.CellValue(e, res)
 			fmt.Printf("  %12.4f", v)
 			if csvFile != nil {
 				fmt.Fprintf(csvFile, "%s,%s,%s,%s,%g\n", e.ID, p.Label, eng, unit, v)
+			}
+			if doc != nil {
+				doc.Results = append(doc.Results, jsonResult{
+					Exp:           e.ID,
+					Point:         p.Label,
+					Engine:        eng,
+					Metric:        metric,
+					Unit:          unit,
+					Value:         v,
+					NsPerStep:     res.AvgStepSeconds * 1e9,
+					AllocsPerStep: res.AvgStepAllocs,
+					BytesPerStep:  res.AvgStepBytes,
+					SizeBytes:     res.AvgSizeBytes,
+					Workers:       p.Cfg.Workers,
+					Config:        p.Cfg,
+				})
 			}
 		}
 		fmt.Println()

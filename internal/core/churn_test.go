@@ -1,0 +1,179 @@
+package core
+
+// Cross-engine equivalence under sustained random churn: OVH, IMA and GMA
+// are driven over identical update streams in which every timestamp mixes
+// object updates (moves, inserts, deletes), query updates (moves, inserts,
+// deletes) and edge-weight updates in the same batch, for well over 50
+// timestamps. Every query result must be identical across the engines at
+// every timestamp (OVH, the from-scratch baseline, is the reference), with
+// a periodic Dijkstra-oracle audit for absolute correctness. This is the
+// regression net for the arena/treeStore expansion core: any divergence in
+// the incremental machinery surfaces as an engine mismatch.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"roadknn/internal/gen"
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+func TestCrossEngineChurn(t *testing.T) {
+	const (
+		seed       = 4242
+		edges      = 120
+		nObj       = 60
+		nQry       = 16
+		maxK       = 6
+		timestamps = 60 // satellite requirement: >= 50
+	)
+	rng := rand.New(rand.NewSource(seed))
+	build := func() *roadnet.Network {
+		return roadnet.NewNetwork(gen.SanFranciscoLike(edges, seed))
+	}
+	engines := []Engine{NewOVH(build()), NewIMA(build()), NewGMA(build())}
+	world := build()
+
+	objPos := map[roadnet.ObjectID]roadnet.Position{}
+	qPos := map[QueryID]roadnet.Position{}
+	qK := map[QueryID]int{}
+	for i := 0; i < nObj; i++ {
+		id := roadnet.ObjectID(i)
+		pos := world.UniformPosition(rng)
+		objPos[id] = pos
+		world.AddObject(id, pos)
+		for _, e := range engines {
+			e.Network().AddObject(id, pos)
+		}
+	}
+	nextObj := roadnet.ObjectID(nObj)
+	nextQry := QueryID(nQry)
+	for i := 0; i < nQry; i++ {
+		id := QueryID(i)
+		pos := world.UniformPosition(rng)
+		k := 1 + rng.Intn(maxK)
+		qPos[id] = pos
+		qK[id] = k
+		for _, e := range engines {
+			e.Register(id, pos, k)
+		}
+	}
+
+	compareAll := func(label string) {
+		t.Helper()
+		ref := engines[0]
+		for qid := range qPos {
+			want := ref.Result(qid)
+			for _, e := range engines[1:] {
+				if err := compareResults(e.Result(qid), want); err != nil {
+					t.Fatalf("%s: %s vs %s query %d (k=%d): %v",
+						label, e.Name(), ref.Name(), qid, qK[qid], err)
+				}
+			}
+		}
+	}
+	auditOracle := func(label string) {
+		t.Helper()
+		for qid, pos := range qPos {
+			for _, e := range engines {
+				want := BruteForceKNN(e.Network(), pos, qK[qid])
+				if err := compareResults(e.Result(qid), want); err != nil {
+					t.Fatalf("%s: %s query %d vs oracle: %v", label, e.Name(), qid, err)
+				}
+			}
+		}
+	}
+	compareAll("initial")
+	auditOracle("initial")
+
+	walk := func(pos roadnet.Position) roadnet.Position {
+		return world.RandomWalk(pos, rng.Float64()*3*world.AvgEdgeLength(), 0, rng)
+	}
+
+	for ts := 1; ts <= timestamps; ts++ {
+		var u Updates
+
+		// Object churn: moves plus guaranteed insert/delete traffic.
+		for _, id := range sortedObjIDs(objPos) {
+			pos := objPos[id]
+			switch r := rng.Float64(); {
+			case r < 0.25:
+				np := walk(pos)
+				u.Objects = append(u.Objects, ObjectUpdate{ID: id, Old: pos, New: np})
+				objPos[id] = np
+				world.MoveObject(id, np)
+			case r < 0.29 && len(objPos) > 4:
+				u.Objects = append(u.Objects, ObjectUpdate{ID: id, Old: pos, Delete: true})
+				delete(objPos, id)
+				world.RemoveObject(id)
+			}
+		}
+		for i := 0; i < 1+rng.Intn(2); i++ { // at least one insert per ts
+			id := nextObj
+			nextObj++
+			pos := world.UniformPosition(rng)
+			u.Objects = append(u.Objects, ObjectUpdate{ID: id, New: pos, Insert: true})
+			objPos[id] = pos
+			world.AddObject(id, pos)
+		}
+
+		// Query churn: moves every timestamp, periodic insert/delete.
+		moved := false
+		for _, id := range sortedQryIDs(qPos) {
+			if rng.Float64() < 0.3 {
+				np := walk(qPos[id])
+				u.Queries = append(u.Queries, QueryUpdate{ID: id, New: np})
+				qPos[id] = np
+				moved = true
+			}
+		}
+		if !moved { // guarantee a query update in every step's batch
+			ids := sortedQryIDs(qPos)
+			id := ids[rng.Intn(len(ids))]
+			np := walk(qPos[id])
+			u.Queries = append(u.Queries, QueryUpdate{ID: id, New: np})
+			qPos[id] = np
+		}
+		if ts%5 == 0 {
+			id := nextQry
+			nextQry++
+			pos := world.UniformPosition(rng)
+			k := 1 + rng.Intn(maxK)
+			u.Queries = append(u.Queries, QueryUpdate{ID: id, New: pos, K: k, Insert: true})
+			qPos[id] = pos
+			qK[id] = k
+		}
+		if ts%7 == 0 && len(qPos) > 4 {
+			ids := sortedQryIDs(qPos)
+			id := ids[rng.Intn(len(ids))]
+			u.Queries = append(u.Queries, QueryUpdate{ID: id, Delete: true})
+			delete(qPos, id)
+			delete(qK, id)
+		}
+
+		// Edge churn: at least two weight updates per timestamp, including
+		// occasional duplicate updates of one edge (aggregation path).
+		nEdge := 2 + rng.Intn(3)
+		for i := 0; i < nEdge; i++ {
+			eid := graph.EdgeID(rng.Intn(world.G.NumEdges()))
+			w := world.G.Edge(eid).W
+			if rng.Intn(2) == 0 {
+				w *= 0.9
+			} else {
+				w *= 1.1
+			}
+			u.Edges = append(u.Edges, EdgeUpdate{Edge: eid, NewW: w})
+			world.G.SetWeight(eid, w)
+		}
+
+		for _, e := range engines {
+			e.Step(u)
+		}
+		compareAll(fmt.Sprintf("ts %d", ts))
+		if ts%10 == 0 || ts == timestamps {
+			auditOracle(fmt.Sprintf("ts %d audit", ts))
+		}
+	}
+}

@@ -166,7 +166,7 @@ func (w *replayWorld) dump(e Engine, qid QueryID, u Updates) {
 			m := eng.set.mons[qid]
 			reg := slices.Contains(m.affEdges, op.Edge)
 			fmt.Printf("    IMA distanceTo=%g kdist=%g tree=%d regOnEdge=%v\n",
-				m.distanceTo(op), m.kdist, len(m.tree), reg)
+				m.distanceTo(op), m.kdist, m.tree.len(), reg)
 		case *GMA:
 			q := eng.queries[qid]
 			seq := &eng.seqs.Seqs[q.seq]

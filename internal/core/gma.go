@@ -39,6 +39,15 @@ type GMA struct {
 	// allocations (mirroring stepRouter).
 	evalIDs  []QueryID
 	evalBufs [][]qilOp
+	// affected is the per-step dirty-query set, reused across steps.
+	affected map[QueryID]bool
+}
+
+// arena returns the scratch arena for eval worker i. The evaluations share
+// the inner monitor set's arena pool: the inner step and the query
+// evaluations never run concurrently, and worker w always maps to arena w.
+func (e *GMA) arena(i int) *scratch {
+	return e.inner.arena(i)
 }
 
 // gmaQuery is the per-query state: no expansion tree — only the result,
@@ -89,13 +98,14 @@ func NewGMAWith(net *roadnet.Network, o Options) *GMA {
 	inner := newMonitorSet(net, true)
 	inner.workers = o.workers()
 	return &GMA{
-		net:     net,
-		seqs:    roadnet.DecomposeSequences(net.G),
-		inner:   inner,
-		queries: make(map[QueryID]*gmaQuery),
-		qIL:     make([]map[QueryID]qInterval, net.G.NumEdges()),
-		nodeQ:   make(map[graph.NodeID]map[QueryID]int),
-		workers: o.workers(),
+		net:      net,
+		seqs:     roadnet.DecomposeSequences(net.G),
+		inner:    inner,
+		queries:  make(map[QueryID]*gmaQuery),
+		qIL:      make([]map[QueryID]qInterval, net.G.NumEdges()),
+		nodeQ:    make(map[graph.NodeID]map[QueryID]int),
+		workers:  o.workers(),
+		affected: make(map[QueryID]bool),
 	}
 }
 
@@ -121,7 +131,7 @@ func (e *GMA) Register(id QueryID, pos roadnet.Position, k int) {
 	}
 	e.queries[id] = q
 	e.attach(q, nil)
-	e.evaluate(q)
+	e.evaluate(q, e.arena(0))
 }
 
 // Unregister implements Engine.
@@ -183,7 +193,7 @@ func (e *GMA) attach(q *gmaQuery, affected map[QueryID]bool) {
 			e.inner.register(nid, e.nodePosition(n), q.k)
 		} else if mon.k < q.k {
 			mon.setK(q.k)
-			mon.computeInitial()
+			mon.computeInitial(e.arena(0))
 			e.markNodeQueries(n, affected)
 		}
 	}
@@ -201,7 +211,9 @@ func (e *GMA) detach(q *gmaQuery, affected map[QueryID]bool) {
 		delete(qs, q.id)
 		nid := QueryID(n)
 		if len(qs) == 0 {
-			delete(e.nodeQ, n)
+			// The emptied map stays in nodeQ for the next activation of
+			// this node (query-move churn re-activates the same endpoints
+			// constantly); SizeBytes skips empty entries.
 			e.inner.unregister(nid)
 			continue
 		}
@@ -213,7 +225,7 @@ func (e *GMA) detach(q *gmaQuery, affected map[QueryID]bool) {
 		}
 		if mon := e.inner.mons[nid]; mon.k != maxK {
 			mon.setK(maxK)
-			mon.computeInitial()
+			mon.computeInitial(e.arena(0))
 			e.markNodeQueries(n, affected)
 		}
 	}
@@ -242,7 +254,8 @@ func (e *GMA) nodePosition(n graph.NodeID) roadnet.Position {
 // the active-node NN sets; the queries affected by node changes, object
 // updates, or edge updates are recomputed from scratch.
 func (e *GMA) Step(u Updates) {
-	affected := make(map[QueryID]bool)
+	affected := e.affected
+	clear(affected)
 
 	// Lines 1-4: Qins/Qdel (a movement is a deletion plus an insertion).
 	for _, qu := range u.Queries {
@@ -325,8 +338,11 @@ func (e *GMA) Step(u Updates) {
 		for i := range bufs {
 			bufs[i] = bufs[i][:0]
 		}
-		runShards(e.workers, len(ids), func(i int) {
-			e.evaluateInto(e.queries[ids[i]], &bufs[i])
+		for w := 0; w < min(e.workers, len(ids)); w++ {
+			e.arena(w) // pre-create outside the goroutines
+		}
+		runShards(e.workers, len(ids), func(wk, i int) {
+			e.evaluateInto(e.queries[ids[i]], &bufs[i], e.arena(wk))
 		})
 		for _, buf := range bufs {
 			for _, op := range buf {
@@ -334,8 +350,9 @@ func (e *GMA) Step(u Updates) {
 			}
 		}
 	} else {
+		sc := e.arena(0)
 		for _, qid := range ids {
-			e.evaluate(e.queries[qid])
+			e.evaluate(e.queries[qid], sc)
 		}
 	}
 }
@@ -395,7 +412,9 @@ func (e *GMA) SizeBytes() int {
 		n += len(m) * (4 + 16 + 16)
 	}
 	for _, qs := range e.nodeQ {
-		n += 16 + len(qs)*8
+		if len(qs) > 0 { // emptied entries are pooled, not live state
+			n += 16 + len(qs)*8
+		}
 	}
 	n += len(e.seqs.Seqs) * 48
 	n += e.net.G.NumEdges() * 8 // ByEdge / EdgeIndex

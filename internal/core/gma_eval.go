@@ -20,9 +20,10 @@ type walkEdge struct {
 // sequence in both directions, scanning edge object lists and merging the
 // NN set of an endpoint active node when it is reached within kNN_dist.
 // The influencing intervals on the covered sequence edges are re-registered
-// from the final kNN_dist.
-func (e *GMA) evaluate(q *gmaQuery) {
-	e.evaluateInto(q, nil)
+// from the final kNN_dist. The scratch arena supplies the walk's covered-
+// edge buffer.
+func (e *GMA) evaluate(q *gmaQuery, sc *scratch) {
+	e.evaluateInto(q, nil, sc)
 }
 
 // evaluateInto is evaluate with an optional influence-table sink: with a
@@ -30,7 +31,7 @@ func (e *GMA) evaluate(q *gmaQuery) {
 // appended to the sink instead, so that evaluations of distinct queries can
 // run concurrently (each query only ever touches its own qIL entries, so
 // replaying the buffered ops in any shard order yields the serial table).
-func (e *GMA) evaluateInto(q *gmaQuery, sink *[]qilOp) {
+func (e *GMA) evaluateInto(q *gmaQuery, sink *[]qilOp, sc *scratch) {
 	for eid := range q.affEdges {
 		if sink != nil {
 			*sink = append(*sink, qilOp{del: true, edge: eid, q: q.id})
@@ -47,9 +48,10 @@ func (e *GMA) evaluateInto(q *gmaQuery, sink *[]qilOp) {
 	}
 
 	seq := &e.seqs.Seqs[q.seq]
-	var covered []walkEdge
+	covered := sc.covered[:0]
 	q.reachB, q.distB = e.walkDir(q, seq, +1, &covered)
 	q.reachA, q.distA = e.walkDir(q, seq, -1, &covered)
+	sc.covered = covered // keep the grown buffer for the next evaluation
 
 	q.result = q.cand.finalize()
 	q.kdist = q.cand.kth()

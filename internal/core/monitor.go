@@ -5,26 +5,8 @@ import (
 	"slices"
 
 	"roadknn/internal/graph"
-	"roadknn/internal/pqueue"
 	"roadknn/internal/roadnet"
 )
-
-// treeNode is one verified node of an expansion tree: its exact network
-// distance from the query, and the parent node/edge on the shortest path
-// (parent == NoNode for children of the root, reached directly along the
-// query's own edge).
-type treeNode struct {
-	dist       float64
-	parent     graph.NodeID
-	parentEdge graph.EdgeID
-}
-
-// tentative carries heap bookkeeping during an expansion: the would-be
-// parent of a node not yet verified.
-type tentative struct {
-	parent graph.NodeID
-	edge   graph.EdgeID
-}
 
 // monitor is the per-query state of IMA (paper §3-§4): the query's position
 // and k, its current result and kNN_dist, and its expansion tree — the
@@ -33,9 +15,9 @@ type tentative struct {
 //
 // Invariants between timestamps:
 //
-//  1. tree[n].dist is the exact network distance from pos to n for every
-//     tree node n, and every node with true distance < kNN_dist is in the
-//     tree;
+//  1. the tree entry of n holds the exact network distance from pos to n
+//     for every tree node n, and every node with true distance < kNN_dist
+//     is in the tree;
 //  2. result holds the k closest objects with exact distances (fewer than k
 //     only when fewer are reachable), kdist is the k-th distance (+Inf when
 //     short);
@@ -45,6 +27,11 @@ type tentative struct {
 // During update processing the invariants are deliberately broken by the
 // pruning operations (onEdgeDecrease, onEdgeIncrease, onMove) and restored
 // by finalize.
+//
+// All transient expansion state (frontier heap, tentative parents, subtree
+// marks) lives in the scratch arena threaded through the mutating methods;
+// only the tree, the candidates and the influence registrations persist
+// across timestamps.
 type monitor struct {
 	net *roadnet.Network
 	il  *ilTable // nil to disable influence bookkeeping (OVH)
@@ -57,7 +44,8 @@ type monitor struct {
 	result []Neighbor
 	kdist  float64
 
-	tree map[graph.NodeID]treeNode
+	// tree is the expansion tree in the dense flat layout (treestore.go).
+	tree treeStore
 	// affEdges is the sorted list of edges currently registered in the
 	// influence table for this query.
 	affEdges   []graph.EdgeID
@@ -88,6 +76,10 @@ type monitor struct {
 	// pendingTouch lists objects whose distances were invalidated by
 	// non-tree edge-weight changes and must be re-derived at finalize.
 	pendingTouch []roadnet.ObjectID
+	// touched accumulates the objects classified against this monitor
+	// during the serial pipeline's update phase (the parallel pipeline
+	// keeps its own per-shard buffer); consumed and reset by finalize.
+	touched []roadnet.ObjectID
 
 	// ilDefer, when set, redirects influence-table writes into the given
 	// buffer instead of mutating the shared table: the parallel pipeline
@@ -96,10 +88,7 @@ type monitor struct {
 	// merge stage).
 	ilDefer *[]ilOp
 
-	// scratch buffers reused across expansions and finalizes
-	heap       *pqueue.Min[graph.NodeID]
-	tent       map[graph.NodeID]tentative
-	idScratch  []roadnet.ObjectID
+	// oldScratch is the result-copy buffer of change tracking.
 	oldScratch []Neighbor
 }
 
@@ -130,10 +119,29 @@ func newMonitor(net *roadnet.Network, il *ilTable, id QueryID, pos roadnet.Posit
 		net: net, il: il, id: id, k: k, pos: pos,
 		cand:  newCandidateSet(k),
 		kdist: math.Inf(1),
-		tree:  make(map[graph.NodeID]treeNode, 32),
-		heap:  pqueue.New[graph.NodeID](32),
-		tent:  make(map[graph.NodeID]tentative, 32),
 	}
+}
+
+// reset re-initializes a pooled monitor for a fresh registration, retaining
+// every buffer (tree storage, candidate set, influence scratch). The caller
+// must run computeInitial before the monitor is consulted.
+func (m *monitor) reset(id QueryID, pos roadnet.Position, k int) {
+	if k <= 0 {
+		panic("core: query k must be positive")
+	}
+	m.id, m.pos, m.k = id, pos, k
+	m.cand.reset(k)
+	m.tree.clear()
+	m.result = nil
+	m.kdist = math.Inf(1)
+	m.affEdges = m.affEdges[:0] // clearIL already emptied the table side
+	m.needRecompute, m.needFinalize, m.needExpand = false, false, false
+	m.fullRefresh, m.treeDirty = false, false
+	m.ilKdist = 0
+	m.slack = 0
+	m.pendingTouch = m.pendingTouch[:0]
+	m.touched = m.touched[:0]
+	m.ilDefer = nil
 }
 
 // costFrom returns the travel cost from endpoint n of edge e to the point
@@ -152,10 +160,10 @@ func costFrom(e *graph.Edge, n graph.NodeID, frac float64) float64 {
 func (m *monitor) distanceTo(p roadnet.Position) float64 {
 	e := m.net.G.Edge(p.Edge)
 	d := math.Inf(1)
-	if tn, ok := m.tree[e.U]; ok {
+	if tn, ok := m.tree.get(e.U); ok {
 		d = tn.dist + p.Frac*e.W
 	}
-	if tn, ok := m.tree[e.V]; ok {
+	if tn, ok := m.tree.get(e.V); ok {
 		if alt := tn.dist + (1-p.Frac)*e.W; alt < d {
 			d = alt
 		}
@@ -177,8 +185,8 @@ func (m *monitor) covers(p roadnet.Position) bool {
 // computeInitial runs the paper's Figure-2 algorithm: a bounded network
 // expansion around the query that fills the result, the expansion tree and
 // the influence lists from scratch.
-func (m *monitor) computeInitial() {
-	clear(m.tree)
+func (m *monitor) computeInitial(sc *scratch) {
+	m.tree.clear()
 	m.cand.reset(m.k)
 	m.needRecompute = false
 	m.needFinalize = false
@@ -191,14 +199,13 @@ func (m *monitor) computeInitial() {
 	for _, oe := range m.net.ObjectsOn(m.pos.Edge) {
 		m.cand.add(oe.ID, math.Abs(oe.Frac-m.pos.Frac)*e.W, roadnet.Position{Edge: m.pos.Edge, Frac: oe.Frac})
 	}
-	m.heap.Reset()
-	clear(m.tent)
-	m.heap.Push(e.U, m.pos.Frac*e.W)
-	m.tent[e.U] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
-	m.heap.Push(e.V, (1-m.pos.Frac)*e.W)
-	m.tent[e.V] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+	sc.heap.Reset()
+	sc.heap.Push(int32(e.U), m.pos.Frac*e.W)
+	sc.tentParent[e.U], sc.tentEdge[e.U] = graph.NoNode, m.pos.Edge
+	sc.heap.Push(int32(e.V), (1-m.pos.Frac)*e.W)
+	sc.tentParent[e.V], sc.tentEdge[e.V] = graph.NoNode, m.pos.Edge
 
-	m.runExpansion()
+	m.runExpansion(sc)
 	m.result = m.cand.finalize()
 	m.kdist = m.cand.kth()
 	m.pruneToKdist()
@@ -209,18 +216,18 @@ func (m *monitor) computeInitial() {
 // while their key is below the moving bound kNN_dist, verifying each popped
 // node (inserting it into the tree) and scanning the objects on its
 // incident edges. Already-verified nodes are never re-verified.
-func (m *monitor) runExpansion() {
+func (m *monitor) runExpansion(sc *scratch) {
 	g := m.net.G
 	for {
-		n, d, ok := m.heap.PopMin()
+		ni, d, ok := sc.heap.PopMin()
 		if !ok || d >= m.cand.kth() {
 			break
 		}
-		if _, seen := m.tree[n]; seen {
+		n := graph.NodeID(ni)
+		if m.tree.has(n) {
 			continue
 		}
-		tt := m.tent[n]
-		m.tree[n] = treeNode{dist: d, parent: tt.parent, parentEdge: tt.edge}
+		m.tree.put(n, d, sc.tentParent[n], sc.tentEdge[n])
 		m.treeDirty = true
 		for _, eid := range g.Incident(n) {
 			e := g.Edge(eid)
@@ -228,9 +235,9 @@ func (m *monitor) runExpansion() {
 			for _, oe := range m.net.ObjectsOn(eid) {
 				m.cand.add(oe.ID, d+costFrom(e, n, oe.Frac), roadnet.Position{Edge: eid, Frac: oe.Frac})
 			}
-			if _, verified := m.tree[nadj]; !verified {
-				if m.heap.Push(nadj, d+e.W) {
-					m.tent[nadj] = tentative{parent: n, edge: eid}
+			if !m.tree.has(nadj) {
+				if sc.heap.Push(int32(nadj), d+e.W) {
+					sc.tentParent[nadj], sc.tentEdge[nadj] = n, eid
 				}
 			}
 		}
@@ -245,49 +252,50 @@ func (m *monitor) runExpansion() {
 // current weights and tree distances) hold only objects that are already
 // candidates, so only partially covered edges — the edges carrying marks —
 // are rescanned.
-func (m *monitor) reexpand(prevKdist float64) {
+func (m *monitor) reexpand(prevKdist float64, sc *scratch) {
 	g := m.net.G
-	m.heap.Reset()
-	clear(m.tent)
+	sc.heap.Reset()
 
 	e := g.Edge(m.pos.Edge)
 	for _, oe := range m.net.ObjectsOn(m.pos.Edge) {
 		m.cand.add(oe.ID, math.Abs(oe.Frac-m.pos.Frac)*e.W, roadnet.Position{Edge: m.pos.Edge, Frac: oe.Frac})
 	}
-	if _, ok := m.tree[e.U]; !ok {
-		m.heap.Push(e.U, m.pos.Frac*e.W)
-		m.tent[e.U] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+	if !m.tree.has(e.U) {
+		sc.heap.Push(int32(e.U), m.pos.Frac*e.W)
+		sc.tentParent[e.U], sc.tentEdge[e.U] = graph.NoNode, m.pos.Edge
 	}
-	if _, ok := m.tree[e.V]; !ok {
-		m.heap.Push(e.V, (1-m.pos.Frac)*e.W)
-		m.tent[e.V] = tentative{parent: graph.NoNode, edge: m.pos.Edge}
+	if !m.tree.has(e.V) {
+		sc.heap.Push(int32(e.V), (1-m.pos.Frac)*e.W)
+		sc.tentParent[e.V], sc.tentEdge[e.V] = graph.NoNode, m.pos.Edge
 	}
-	for n, tn := range m.tree {
+	entries := m.tree.entriesSlice()
+	for i := range entries {
+		n, nDist := entries[i].node, entries[i].dist
 		for _, eid := range g.Incident(n) {
 			ed := g.Edge(eid)
 			nadj := ed.Other(n)
 			covered := false
-			if tnAdj, ok := m.tree[nadj]; ok && eid != m.pos.Edge {
+			if tnAdj, ok := m.tree.get(nadj); ok && eid != m.pos.Edge {
 				// The farthest point of an edge reached from both endpoints
 				// lies at (du+dv+w)/2; if that was within the previous bound
 				// the edge was fully scanned before and its objects are
 				// already candidates. Distances and weights may have dropped
 				// by at most slack each since that scan.
-				covered = (tn.dist+tnAdj.dist+ed.W)/2 <= prevKdist-1.5*m.slack-distEps
+				covered = (nDist+tnAdj.dist+ed.W)/2 <= prevKdist-1.5*m.slack-distEps
 			}
 			if !covered {
 				for _, oe := range m.net.ObjectsOn(eid) {
-					m.cand.add(oe.ID, tn.dist+costFrom(ed, n, oe.Frac), roadnet.Position{Edge: eid, Frac: oe.Frac})
+					m.cand.add(oe.ID, nDist+costFrom(ed, n, oe.Frac), roadnet.Position{Edge: eid, Frac: oe.Frac})
 				}
 			}
-			if _, verified := m.tree[nadj]; !verified {
-				if m.heap.Push(nadj, tn.dist+ed.W) {
-					m.tent[nadj] = tentative{parent: n, edge: eid}
+			if !m.tree.has(nadj) {
+				if sc.heap.Push(int32(nadj), nDist+ed.W) {
+					sc.tentParent[nadj], sc.tentEdge[nadj] = n, eid
 				}
 			}
 		}
 	}
-	m.runExpansion()
+	m.runExpansion(sc)
 }
 
 // frontierMin returns the smallest key a re-expansion heap would start
@@ -298,17 +306,19 @@ func (m *monitor) frontierMin() float64 {
 	g := m.net.G
 	best := math.Inf(1)
 	e := g.Edge(m.pos.Edge)
-	if _, ok := m.tree[e.U]; !ok {
+	if !m.tree.has(e.U) {
 		best = math.Min(best, m.pos.Frac*e.W)
 	}
-	if _, ok := m.tree[e.V]; !ok {
+	if !m.tree.has(e.V) {
 		best = math.Min(best, (1-m.pos.Frac)*e.W)
 	}
-	for n, tn := range m.tree {
+	entries := m.tree.entriesSlice()
+	for i := range entries {
+		n, nDist := entries[i].node, entries[i].dist
 		for _, eid := range g.Incident(n) {
 			ed := g.Edge(eid)
-			if _, verified := m.tree[ed.Other(n)]; !verified {
-				if d := tn.dist + ed.W; d < best {
+			if !m.tree.has(ed.Other(n)) {
+				if d := nDist + ed.W; d < best {
 					best = d
 				}
 			}
@@ -324,42 +334,55 @@ func (m *monitor) pruneToKdist() {
 	if math.IsInf(m.kdist, 1) {
 		return
 	}
-	for n, tn := range m.tree {
-		if tn.dist > m.kdist {
-			delete(m.tree, n)
+	for i := m.tree.len() - 1; i >= 0; i-- {
+		if m.tree.at(i).dist > m.kdist {
+			m.tree.deleteAt(i)
 			m.treeDirty = true
 		}
 	}
 }
 
-// subtreeOf returns the set of tree nodes whose path from the query passes
-// through node b (b included).
-func (m *monitor) subtreeOf(b graph.NodeID) map[graph.NodeID]bool {
-	memo := make(map[graph.NodeID]bool, len(m.tree))
-	memo[b] = true
-	var classify func(n graph.NodeID) bool
-	classify = func(n graph.NodeID) bool {
-		if v, ok := memo[n]; ok {
-			return v
+// computeSubtree marks, in sc's subtree set, every tree node whose path
+// from the query passes through node b (b included); callers test
+// membership with sc.inSub. It replaces the former map-returning subtreeOf
+// with epoch-stamped arena state.
+func (m *monitor) computeSubtree(b graph.NodeID, sc *scratch) {
+	sc.beginSub()
+	sc.beginMemo()
+	sc.memoSet(b, true)
+	sc.markSub(b)
+	entries := m.tree.entriesSlice()
+	for i := range entries {
+		if m.classifySub(entries[i].node, sc) {
+			sc.markSub(entries[i].node)
 		}
-		p := m.tree[n].parent
-		var v bool
-		if p == graph.NoNode {
+	}
+}
+
+// classifySub walks n's parent chain up to the first memoized node (or the
+// root) and memoizes the whole chain with the answer.
+func (m *monitor) classifySub(n graph.NodeID, sc *scratch) bool {
+	st := sc.stack[:0]
+	cur := n
+	v := false
+	for {
+		if val, known := sc.memoGet(cur); known {
+			v = val
+			break
+		}
+		st = append(st, cur)
+		tn, _ := m.tree.get(cur) // absent -> zero entry, as with the old map
+		if tn.parent == graph.NoNode {
 			v = false
-		} else {
-			v = classify(p)
+			break
 		}
-		memo[n] = v
-		return v
+		cur = tn.parent
 	}
-	inSub := make(map[graph.NodeID]bool, 8)
-	inSub[b] = true
-	for n := range m.tree {
-		if classify(n) {
-			inSub[n] = true
-		}
+	for _, x := range st {
+		sc.memoSet(x, v)
 	}
-	return inSub
+	sc.stack = st[:0]
+	return v
 }
 
 // rebuildIL recomputes the set of affecting edges (edges with a tree
@@ -372,11 +395,12 @@ func (m *monitor) rebuildIL() {
 	g := m.net.G
 	newAff := m.affScratch[:0]
 	newAff = append(newAff, m.pos.Edge)
-	for n, tn := range m.tree {
-		if tn.dist >= m.kdist {
+	entries := m.tree.entriesSlice()
+	for i := range entries {
+		if entries[i].dist >= m.kdist {
 			continue
 		}
-		newAff = append(newAff, g.Incident(n)...)
+		newAff = append(newAff, g.Incident(entries[i].node)...)
 	}
 	slices.Sort(newAff)
 	newAff = slices.Compact(newAff)
@@ -422,12 +446,14 @@ func (m *monitor) setK(k int) {
 }
 
 // sizeBytes estimates the memory footprint of the monitor's bookkeeping,
-// using nominal per-entry costs for the maps (Fig. 18 measurements).
+// using nominal per-entry costs (Fig. 18 measurements): a tree entry is a
+// 24-byte dense record plus ~16 bytes of hash-index slot amortized over
+// the 75% load factor.
 func (m *monitor) sizeBytes() int {
 	const (
-		treeEntry = 4 + 24 + 16 // key + treeNode + map overhead
-		affEntry  = 4 + 8
-		candEntry = 12 + 12 + 8
+		treeEntrySize = 24 + 16 // dense entry + index share
+		affEntry      = 4 + 8
+		candEntry     = 12 + 12 + 8
 	)
-	return len(m.tree)*treeEntry + len(m.affEdges)*affEntry + m.cand.len()*candEntry + 96
+	return m.tree.len()*treeEntrySize + len(m.affEdges)*affEntry + m.cand.len()*candEntry + 96
 }

@@ -39,9 +39,12 @@ func ladderNet() *roadnet.Network {
 func newTestMonitor(net *roadnet.Network, pos roadnet.Position, k int) (*monitor, *ilTable) {
 	il := newILTable(net.G.NumEdges())
 	m := newMonitor(net, il, 1, pos, k)
-	m.computeInitial()
+	m.computeInitial(newScratch(net.G.NumNodes()))
 	return m, il
 }
+
+// testScratch returns a fresh arena sized to the monitor's network.
+func testScratch(m *monitor) *scratch { return newScratch(m.net.G.NumNodes()) }
 
 func TestMonitorTreeInvariantAfterInitial(t *testing.T) {
 	net := ladderNet()
@@ -62,8 +65,8 @@ func TestMonitorTreeInvariantAfterInitial(t *testing.T) {
 	// Nodes within kdist must be in the tree: n0 (0.5), n1 (0.5), n2 (1.5),
 	// n4 (1.5), n5 (1.5).
 	for _, n := range []graph.NodeID{0, 1, 2, 4, 5} {
-		if _, ok := m.tree[n]; !ok {
-			t.Fatalf("node %d missing from tree: %v", n, m.tree)
+		if !m.tree.has(n) {
+			t.Fatalf("node %d missing from tree: %v", n, m.tree.entriesSlice())
 		}
 	}
 }
@@ -78,9 +81,9 @@ func checkTreeExact(t *testing.T, m *monitor) {
 		[]float64{m.net.CostFromU(m.pos), m.net.CostFromV(m.pos)},
 		math.Inf(1),
 	)
-	for n, tn := range m.tree {
-		if math.Abs(tn.dist-dist[n]) > 1e-9 {
-			t.Fatalf("tree node %d dist %g, oracle %g", n, tn.dist, dist[n])
+	for _, tn := range m.tree.entriesSlice() {
+		if math.Abs(tn.dist-dist[tn.node]) > 1e-9 {
+			t.Fatalf("tree node %d dist %g, oracle %g", tn.node, tn.dist, dist[tn.node])
 		}
 	}
 }
@@ -151,11 +154,12 @@ func TestSubtreeOf(t *testing.T) {
 	net := ladderNet()
 	net.AddObject(1, roadnet.Position{Edge: 2, Frac: 1.0})
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.0}, 1)
-	sub := m.subtreeOf(1) // subtree under n1
-	if !sub[1] || !sub[2] {
-		t.Fatalf("subtree(1) = %v, want to include n1, n2", sub)
+	sc := testScratch(m)
+	m.computeSubtree(1, sc) // subtree under n1
+	if !sc.inSub(1) || !sc.inSub(2) {
+		t.Fatal("subtree(1) must include n1, n2")
 	}
-	if sub[0] {
+	if sc.inSub(0) {
 		t.Fatal("subtree(1) must not include the query-side node n0")
 	}
 }
@@ -164,20 +168,21 @@ func TestOnEdgeIncreasePrunesSubtree(t *testing.T) {
 	net := ladderNet()
 	net.AddObject(1, roadnet.Position{Edge: 2, Frac: 1.0}) // at n3
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.0}, 1)
-	if _, ok := m.tree[2]; !ok {
+	if !m.tree.has(2) {
 		t.Fatal("precondition: n2 must be verified")
 	}
+	sc := testScratch(m)
 	// Raise weight of edge 1 (n1-n2): subtree under n2 must be discarded.
 	net.G.SetWeight(1, 10)
-	m.onEdgeIncrease(1)
-	if _, ok := m.tree[2]; ok {
+	m.onEdgeIncrease(1, sc)
+	if m.tree.has(2) {
 		t.Fatal("subtree under increased edge not pruned")
 	}
-	if _, ok := m.tree[1]; !ok {
+	if !m.tree.has(1) {
 		t.Fatal("kept part of the tree was wrongly pruned")
 	}
 	// finalize must restore a correct result via the detour (n1-n5-n6-n2).
-	m.finalize(nil, false)
+	m.finalize(nil, false, sc)
 	want := BruteForceKNN(net, m.pos, 1)
 	if err := compareResults(m.result, want); err != nil {
 		t.Fatalf("after increase: %v", err)
@@ -189,13 +194,16 @@ func TestOnEdgeDecreaseAdjustsSubtree(t *testing.T) {
 	net := ladderNet()
 	net.AddObject(1, roadnet.Position{Edge: 2, Frac: 1.0})
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.0}, 1)
-	d2Before := m.tree[2].dist
+	sc := testScratch(m)
+	tn2, _ := m.tree.get(2)
+	d2Before := tn2.dist
 	net.G.SetWeight(1, 0.5)
-	m.onEdgeDecrease(1, 1.0, 0.5)
-	if got := m.tree[2].dist; math.Abs(got-(d2Before-0.5)) > 1e-9 {
+	m.onEdgeDecrease(1, 1.0, 0.5, sc)
+	tn2, _ = m.tree.get(2)
+	if got := tn2.dist; math.Abs(got-(d2Before-0.5)) > 1e-9 {
 		t.Fatalf("subtree distance = %g, want %g", got, d2Before-0.5)
 	}
-	m.finalize(nil, false)
+	m.finalize(nil, false, sc)
 	want := BruteForceKNN(net, m.pos, 1)
 	if err := compareResults(m.result, want); err != nil {
 		t.Fatalf("after decrease: %v", err)
@@ -209,11 +217,12 @@ func TestOnMoveRetainsSubtree(t *testing.T) {
 	net.AddObject(2, roadnet.Position{Edge: 3, Frac: 0.0}) // at n4
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.1}, 2)
 	// Move along a tree edge toward the first NN.
-	m.onMove(roadnet.Position{Edge: 1, Frac: 0.5})
+	sc := testScratch(m)
+	m.onMove(roadnet.Position{Edge: 1, Frac: 0.5}, sc)
 	if m.needRecompute {
 		t.Fatal("in-tree move triggered full recomputation")
 	}
-	m.finalize(nil, false)
+	m.finalize(nil, false, sc)
 	want := BruteForceKNN(net, m.pos, 2)
 	if err := compareResults(m.result, want); err != nil {
 		t.Fatalf("after move: %v", err)
@@ -226,11 +235,12 @@ func TestOnMoveOutsideTreeRecomputes(t *testing.T) {
 	net.AddObject(1, roadnet.Position{Edge: 0, Frac: 0.1})
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.2}, 1)
 	// kdist is tiny; the far end of the ladder is way outside the tree.
-	m.onMove(roadnet.Position{Edge: 5, Frac: 0.9})
+	sc := testScratch(m)
+	m.onMove(roadnet.Position{Edge: 5, Frac: 0.9}, sc)
 	if !m.needRecompute {
 		t.Fatal("out-of-tree move must trigger recomputation")
 	}
-	m.finalize(nil, false)
+	m.finalize(nil, false, sc)
 	want := BruteForceKNN(net, m.pos, 1)
 	if err := compareResults(m.result, want); err != nil {
 		t.Fatalf("after far move: %v", err)
@@ -241,12 +251,13 @@ func TestQueryOwnEdgeWeightChangeRecomputes(t *testing.T) {
 	net := ladderNet()
 	net.AddObject(1, roadnet.Position{Edge: 1, Frac: 0.5})
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.5}, 1)
+	sc := testScratch(m)
 	net.G.SetWeight(0, 3)
-	m.onEdgeIncrease(0)
+	m.onEdgeIncrease(0, sc)
 	if !m.needRecompute {
 		t.Fatal("own-edge weight change must recompute")
 	}
-	m.finalize(nil, false)
+	m.finalize(nil, false, sc)
 	want := BruteForceKNN(net, m.pos, 1)
 	if err := compareResults(m.result, want); err != nil {
 		t.Fatalf("after own-edge change: %v", err)
@@ -258,7 +269,7 @@ func TestInfluenceRegistrationLifecycle(t *testing.T) {
 	net.AddObject(1, roadnet.Position{Edge: 0, Frac: 0.9})
 	il := newILTable(net.G.NumEdges())
 	m := newMonitor(net, il, 7, roadnet.Position{Edge: 0, Frac: 0.5}, 1)
-	m.computeInitial()
+	m.computeInitial(testScratch(m))
 	if len(m.affEdges) == 0 || il.entries() != len(m.affEdges) {
 		t.Fatalf("registrations inconsistent: affEdges=%d entries=%d",
 			len(m.affEdges), il.entries())
@@ -296,7 +307,7 @@ func TestSetKForcesRecompute(t *testing.T) {
 	if !m.needRecompute {
 		t.Fatal("setK did not flag recomputation")
 	}
-	m.finalize(nil, false)
+	m.finalize(nil, false, testScratch(m))
 	if len(m.result) != 3 {
 		t.Fatalf("after setK(3): %d results", len(m.result))
 	}
@@ -313,7 +324,7 @@ func TestLazyILShrinkKeepsFiltering(t *testing.T) {
 	m, _ := newTestMonitor(net, roadnet.Position{Edge: 0, Frac: 0.0}, 1)
 	// An object appears right next to the query: kdist shrinks a lot.
 	net.AddObject(3, roadnet.Position{Edge: 0, Frac: 0.05})
-	m.finalize([]roadnet.ObjectID{3}, false)
+	m.finalize([]roadnet.ObjectID{3}, false, testScratch(m))
 	if m.result[0].Obj != 3 {
 		t.Fatalf("result = %v", m.result)
 	}

@@ -9,16 +9,17 @@ import (
 
 // This file contains the incremental update handlers of IMA (§4.2-§4.4):
 // each prunes the expansion tree to its provably-valid part, leaving the
-// monitor in the intermediate state that finalize repairs.
+// monitor in the intermediate state that finalize repairs. All handlers
+// take the caller's scratch arena for their transient subtree marks.
 
 // treeEdgeChild returns the child node of tree edge eid (the endpoint whose
 // shortest path uses eid) or NoNode when eid is not a tree edge.
 func (m *monitor) treeEdgeChild(eid graph.EdgeID) graph.NodeID {
 	e := m.net.G.Edge(eid)
-	if tn, ok := m.tree[e.U]; ok && tn.parentEdge == eid && tn.parent == e.V {
+	if tn, ok := m.tree.get(e.U); ok && tn.parentEdge == eid && tn.parent == e.V {
 		return e.U
 	}
-	if tn, ok := m.tree[e.V]; ok && tn.parentEdge == eid && tn.parent == e.U {
+	if tn, ok := m.tree.get(e.V); ok && tn.parentEdge == eid && tn.parent == e.U {
 		return e.V
 	}
 	return graph.NoNode
@@ -34,7 +35,7 @@ func (m *monitor) treeEdgeChild(eid graph.EdgeID) graph.NodeID {
 // edge a->b, the whole subtree under b additionally stays valid with
 // distances reduced by oldW-newW, because its paths cross eid exactly once
 // and remain optimal when they get uniformly cheaper.
-func (m *monitor) onEdgeDecrease(eid graph.EdgeID, oldW, newW float64) {
+func (m *monitor) onEdgeDecrease(eid graph.EdgeID, oldW, newW float64, sc *scratch) {
 	if m.needRecompute {
 		return
 	}
@@ -47,16 +48,19 @@ func (m *monitor) onEdgeDecrease(eid graph.EdgeID, oldW, newW float64) {
 	e := m.net.G.Edge(eid)
 	if b := m.treeEdgeChild(eid); b != graph.NoNode {
 		delta := oldW - newW
-		inSub := m.subtreeOf(b)
-		for n := range inSub {
-			tn := m.tree[n]
-			tn.dist -= delta
-			m.tree[n] = tn
+		m.computeSubtree(b, sc)
+		entries := m.tree.entriesSlice()
+		for i := range entries {
+			if sc.inSub(entries[i].node) {
+				entries[i].dist -= delta
+			}
 		}
-		bound := m.tree[b].dist
-		for n, tn := range m.tree {
-			if !inSub[n] && tn.dist > bound {
-				delete(m.tree, n)
+		bn, _ := m.tree.get(b)
+		bound := bn.dist
+		for i := m.tree.len() - 1; i >= 0; i-- {
+			te := m.tree.at(i)
+			if !sc.inSub(te.node) && te.dist > bound {
+				m.tree.deleteAt(i)
 			}
 		}
 		// Candidates reached through the subtree carry distances that are
@@ -69,16 +73,16 @@ func (m *monitor) onEdgeDecrease(eid graph.EdgeID, oldW, newW float64) {
 		m.treeDirty = true
 	} else {
 		bound := math.Inf(1)
-		if tn, ok := m.tree[e.U]; ok {
+		if tn, ok := m.tree.get(e.U); ok {
 			bound = tn.dist + newW
 		}
-		if tn, ok := m.tree[e.V]; ok && tn.dist+newW < bound {
+		if tn, ok := m.tree.get(e.V); ok && tn.dist+newW < bound {
 			bound = tn.dist + newW
 		}
 		pruned := false
-		for n, tn := range m.tree {
-			if tn.dist > bound {
-				delete(m.tree, n)
+		for i := m.tree.len() - 1; i >= 0; i-- {
+			if m.tree.at(i).dist > bound {
+				m.tree.deleteAt(i)
 				pruned = true
 			}
 		}
@@ -105,7 +109,7 @@ func (m *monitor) onEdgeDecrease(eid graph.EdgeID, oldW, newW float64) {
 // rose (§4.4, Fig. 8): the subtree hanging under the edge (if it is a tree
 // edge) may now be reachable via cheaper detours and is discarded; the
 // rest of the tree avoids the edge and stays exact.
-func (m *monitor) onEdgeIncrease(eid graph.EdgeID) {
+func (m *monitor) onEdgeIncrease(eid graph.EdgeID, sc *scratch) {
 	if m.needRecompute {
 		return
 	}
@@ -114,8 +118,11 @@ func (m *monitor) onEdgeIncrease(eid graph.EdgeID) {
 		return
 	}
 	if b := m.treeEdgeChild(eid); b != graph.NoNode {
-		for n := range m.subtreeOf(b) {
-			delete(m.tree, n)
+		m.computeSubtree(b, sc)
+		for i := m.tree.len() - 1; i >= 0; i-- {
+			if sc.inSub(m.tree.at(i).node) {
+				m.tree.deleteAt(i)
+			}
 		}
 		// The discarded subtree must be re-discovered via other paths, and
 		// candidates that were reached through it re-derived.
@@ -136,7 +143,7 @@ func (m *monitor) onEdgeIncrease(eid graph.EdgeID) {
 // edge, the subtree rooted at the new location stays valid (sub-paths of
 // shortest paths are shortest) with distances reduced by d(q, q');
 // otherwise the result is recomputed from scratch.
-func (m *monitor) onMove(newPos roadnet.Position) {
+func (m *monitor) onMove(newPos roadnet.Position, sc *scratch) {
 	if m.needRecompute {
 		m.pos = newPos
 		return
@@ -164,17 +171,18 @@ func (m *monitor) onMove(newPos roadnet.Position) {
 		} else {
 			return // no actual movement
 		}
-		tn, ok := m.tree[side]
+		tn, ok := m.tree.get(side)
 		if !ok || tn.parent != graph.NoNode {
 			// The near endpoint is unverified or was reached the long way
 			// around: no part of the tree hangs past q'.
-			clear(m.tree)
+			m.tree.clear()
 			m.pos = newPos
 			m.needRecompute = true
 			return
 		}
 		delta := m.net.ArcCost(m.pos, newPos)
-		m.retainSubtreeShifted(m.subtreeOf(side), delta)
+		m.computeSubtree(side, sc)
+		m.retainSubtreeShifted(delta, sc)
 		m.slack += delta
 		m.pos = newPos
 		return
@@ -185,8 +193,10 @@ func (m *monitor) onMove(newPos roadnet.Position) {
 		// distances reduced by d(q, q') = dist(a) + cost(a -> q').
 		e := m.net.G.Edge(newPos.Edge)
 		a := e.Other(b)
-		dq := m.tree[a].dist + costFrom(e, a, newPos.Frac)
-		m.retainSubtreeShifted(m.subtreeOf(b), dq)
+		an, _ := m.tree.get(a)
+		dq := an.dist + costFrom(e, a, newPos.Frac)
+		m.computeSubtree(b, sc)
+		m.retainSubtreeShifted(dq, sc)
 		m.slack += dq
 		m.pos = newPos
 		return
@@ -198,24 +208,22 @@ func (m *monitor) onMove(newPos roadnet.Position) {
 	m.needRecompute = true
 }
 
-// retainSubtreeShifted drops every tree node outside keep and subtracts
-// delta from the distances of the kept ones. The kept subtree's topmost
-// node becomes a child of the (relocated) root.
-func (m *monitor) retainSubtreeShifted(keep map[graph.NodeID]bool, delta float64) {
-	for n := range m.tree {
-		if !keep[n] {
-			delete(m.tree, n)
+// retainSubtreeShifted drops every tree node outside sc's current subtree
+// set and subtracts delta from the distances of the kept ones. The kept
+// subtree's topmost node becomes a child of the (relocated) root.
+func (m *monitor) retainSubtreeShifted(delta float64, sc *scratch) {
+	for i := m.tree.len() - 1; i >= 0; i-- {
+		if !sc.inSub(m.tree.at(i).node) {
+			m.tree.deleteAt(i)
 		}
 	}
-	for n, tn := range m.tree {
-		tn.dist -= delta
-		if tn.parent != graph.NoNode {
-			if _, kept := m.tree[tn.parent]; !kept {
-				// Parent was pruned: n now hangs directly off the root.
-				tn.parent = graph.NoNode
-			}
+	entries := m.tree.entriesSlice()
+	for i := range entries {
+		entries[i].dist -= delta
+		if entries[i].parent != graph.NoNode && !m.tree.has(entries[i].parent) {
+			// Parent was pruned: this node now hangs directly off the root.
+			entries[i].parent = graph.NoNode
 		}
-		m.tree[n] = tn
 	}
 }
 
@@ -229,7 +237,7 @@ func (m *monitor) retainSubtreeShifted(keep map[graph.NodeID]bool, delta float64
 // touched lists the objects whose old or new location fell inside the
 // query's influence region this timestamp (incomers and moved/removed
 // neighbors alike).
-func (m *monitor) finalize(touched []roadnet.ObjectID, trackChanges bool) bool {
+func (m *monitor) finalize(touched []roadnet.ObjectID, trackChanges bool, sc *scratch) bool {
 	var oldResult []Neighbor
 	if trackChanges {
 		oldResult = append(m.oldScratch[:0], m.result...)
@@ -238,7 +246,7 @@ func (m *monitor) finalize(touched []roadnet.ObjectID, trackChanges bool) bool {
 	oldKdist := m.kdist
 
 	if m.needRecompute {
-		m.computeInitial()
+		m.computeInitial(sc)
 		return trackChanges && !neighborsEqual(oldResult, m.result)
 	}
 
@@ -251,7 +259,8 @@ func (m *monitor) finalize(touched []roadnet.ObjectID, trackChanges bool) bool {
 	// positions without registry lookups.
 	ids := touched
 	if len(m.pendingTouch) > 0 {
-		ids = append(m.pendingTouch, touched...)
+		sc.ids = append(append(sc.ids[:0], m.pendingTouch...), touched...)
+		ids = sc.ids
 	}
 	// Pass 1: existing members — update distances and cached positions,
 	// evict the unreachable. Distances may grow here, so the k-th bound
@@ -306,7 +315,7 @@ func (m *monitor) finalize(touched []roadnet.ObjectID, trackChanges bool) bool {
 	// new bound have never been scanned. kth() is incremental, so the
 	// trigger costs no sort.
 	if m.needExpand || m.cand.len() < m.k || m.cand.kth() > oldKdist+distEps {
-		m.reexpand(oldKdist)
+		m.reexpand(oldKdist, sc)
 	}
 	m.result = m.cand.finalize()
 	m.kdist = m.cand.kth()

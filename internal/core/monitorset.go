@@ -30,6 +30,25 @@ type monitorSet struct {
 	// router holds the parallel pipeline's routing state, reused across
 	// steps.
 	router stepRouter
+	// arenas holds the per-worker scratch arenas: arena 0 serves every
+	// serial code path, arenas 1..workers-1 the extra shard workers.
+	arenas arenaPool
+
+	// Per-step buffers, reused across steps so a steady-state timestamp
+	// allocates nothing.
+	affected     map[QueryID]bool
+	changed      map[QueryID]bool
+	pendingMoves []queryMove
+	aggW         map[graph.EdgeID]float64
+	aggOrder     []graph.EdgeID
+	decBuf       []edgeChange
+	incBuf       []edgeChange
+	changeBuf    []edgeChange
+
+	// free recycles unregistered monitors, trees/candidate sets and all:
+	// GMA's active-node layer churns registrations on every query move, and
+	// a pooled monitor re-expands without a single allocation.
+	free []*monitor
 }
 
 func newMonitorSet(net *roadnet.Network, trackChanges bool) *monitorSet {
@@ -38,16 +57,31 @@ func newMonitorSet(net *roadnet.Network, trackChanges bool) *monitorSet {
 		il:           newILTable(net.G.NumEdges()),
 		mons:         make(map[QueryID]*monitor),
 		trackChanges: trackChanges,
+		affected:     make(map[QueryID]bool),
+		changed:      make(map[QueryID]bool),
+		aggW:         make(map[graph.EdgeID]float64),
 	}
+}
+
+// arena returns the scratch arena for worker i (0 = serial paths).
+func (s *monitorSet) arena(i int) *scratch {
+	return s.arenas.get(i, s.net.G.NumNodes())
 }
 
 func (s *monitorSet) register(id QueryID, pos roadnet.Position, k int) *monitor {
 	if _, dup := s.mons[id]; dup {
 		panic(fmt.Sprintf("core: query %d already registered", id))
 	}
-	m := newMonitor(s.net, s.il, id, pos, k)
+	var m *monitor
+	if n := len(s.free); n > 0 {
+		m = s.free[n-1]
+		s.free = s.free[:n-1]
+		m.reset(id, pos, k)
+	} else {
+		m = newMonitor(s.net, s.il, id, pos, k)
+	}
 	s.mons[id] = m
-	m.computeInitial()
+	m.computeInitial(s.arena(0))
 	return m
 }
 
@@ -58,6 +92,7 @@ func (s *monitorSet) unregister(id QueryID) {
 	}
 	m.clearIL()
 	delete(s.mons, id)
+	s.free = append(s.free, m)
 }
 
 // queryMove is a pending query relocation within a step.
@@ -71,7 +106,8 @@ type queryMove struct {
 // recomputation, all other updates for them ignored), then edge weight
 // decreases, then increases, then in-tree query moves, then object
 // updates, and finally the per-query finalize. It returns the set of
-// queries whose results changed.
+// queries whose results changed; the returned map is reused by the next
+// step call.
 //
 // With workers > 1 the per-monitor work runs on the sharded parallel
 // pipeline (parallel.go), which produces identical results.
@@ -83,13 +119,14 @@ func (s *monitorSet) step(objs []ObjectUpdate, edges []EdgeUpdate, moves []query
 }
 
 func (s *monitorSet) stepSerial(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
-	affected := make(map[QueryID]bool)
-	touched := make(map[QueryID][]roadnet.ObjectID)
+	sc := s.arena(0)
+	affected := s.affected
+	clear(affected)
 
 	// Fig. 10 lines 1-3: queries moving outside their expansion tree are
 	// recomputed from scratch; flag them before any pruning so the later
 	// phases skip work on their (discarded) trees.
-	pendingMoves := moves[:0:0]
+	pendingMoves := s.pendingMoves[:0]
 	for _, mv := range moves {
 		m, ok := s.mons[mv.id]
 		if !ok {
@@ -103,27 +140,31 @@ func (s *monitorSet) stepSerial(objs []ObjectUpdate, edges []EdgeUpdate, moves [
 		}
 		pendingMoves = append(pendingMoves, mv)
 	}
+	s.pendingMoves = pendingMoves
 
 	// Lines 4-13: edge updates, decreases strictly before increases.
-	s.applyEdgeUpdates(edges, affected)
+	s.applyEdgeUpdates(edges, affected, sc)
 
 	// Lines 14-15: in-tree query moves, re-rooting the valid subtree. The
 	// covers test is repeated because edge pruning may have invalidated
 	// the part of the tree containing the new location.
 	for _, mv := range pendingMoves {
-		s.mons[mv.id].onMove(mv.pos)
+		s.mons[mv.id].onMove(mv.pos, sc)
 	}
 
-	// Lines 16-19: object updates.
-	s.applyObjectUpdates(objs, affected, touched)
+	// Lines 16-19: object updates. The touched objects accumulate on the
+	// monitors themselves (m.touched), not in a per-step map.
+	s.applyObjectUpdates(objs, affected)
 
 	// Lines 20-26: restore every affected query.
-	changed := make(map[QueryID]bool, len(affected))
+	changed := s.changed
+	clear(changed)
 	for id := range affected {
 		if m, ok := s.mons[id]; ok {
-			if m.finalize(touched[id], s.trackChanges) {
+			if m.finalize(m.touched, s.trackChanges, sc) {
 				changed[id] = true
 			}
+			m.touched = m.touched[:0]
 		}
 	}
 	return changed
@@ -141,19 +182,22 @@ type edgeChange struct {
 // and splits them into decreases and increases, each sorted by edge id,
 // decreases first — the processing order both pipelines must follow. No-op
 // updates (new weight equals current) are dropped. Weights are not applied.
+// The returned slice is reused by the next call.
 func (s *monitorSet) classifyEdgeUpdates(edges []EdgeUpdate) []edgeChange {
 	if len(edges) == 0 {
 		return nil
 	}
-	agg := make(map[graph.EdgeID]float64, len(edges))
-	order := make([]graph.EdgeID, 0, len(edges))
+	agg := s.aggW
+	clear(agg)
+	order := s.aggOrder[:0]
 	for _, eu := range edges {
 		if _, seen := agg[eu.Edge]; !seen {
 			order = append(order, eu.Edge)
 		}
 		agg[eu.Edge] = eu.NewW // last update wins: it is the final weight
 	}
-	var decs, incs []edgeChange
+	s.aggOrder = order
+	decs, incs := s.decBuf[:0], s.incBuf[:0]
 	for _, eid := range order {
 		oldW := s.net.G.Edge(eid).W
 		switch {
@@ -165,24 +209,26 @@ func (s *monitorSet) classifyEdgeUpdates(edges []EdgeUpdate) []edgeChange {
 	}
 	sort.Slice(decs, func(i, j int) bool { return decs[i].eid < decs[j].eid })
 	sort.Slice(incs, func(i, j int) bool { return incs[i].eid < incs[j].eid })
-	return append(decs, incs...)
+	s.decBuf, s.incBuf = decs, incs
+	s.changeBuf = append(append(s.changeBuf[:0], decs...), incs...)
+	return s.changeBuf
 }
 
 // applyEdgeUpdates applies the aggregated weight changes, decreases
 // strictly before increases, pruning the trees of the queries in each
 // edge's influence list as it goes.
-func (s *monitorSet) applyEdgeUpdates(edges []EdgeUpdate, affected map[QueryID]bool) {
+func (s *monitorSet) applyEdgeUpdates(edges []EdgeUpdate, affected map[QueryID]bool, sc *scratch) {
 	for _, ec := range s.classifyEdgeUpdates(edges) {
 		s.net.G.SetWeight(ec.eid, ec.newW)
 		if ec.decrease {
 			s.forInfluenced(ec.eid, func(q QueryID) {
 				affected[q] = true
-				s.mons[q].onEdgeDecrease(ec.eid, ec.oldW, ec.newW)
+				s.mons[q].onEdgeDecrease(ec.eid, ec.oldW, ec.newW, sc)
 			})
 		} else {
 			s.forInfluenced(ec.eid, func(q QueryID) {
 				affected[q] = true
-				s.mons[q].onEdgeIncrease(ec.eid)
+				s.mons[q].onEdgeIncrease(ec.eid, sc)
 			})
 		}
 	}
@@ -205,45 +251,46 @@ func (s *monitorSet) forInfluenced(e graph.EdgeID, fn func(QueryID)) {
 // classifies each update per affected query as outgoing, incoming or
 // moving (§4.2); the classification only marks queries and collects the
 // touched object ids — finalize re-derives their distances.
-func (s *monitorSet) applyObjectUpdates(objs []ObjectUpdate, affected map[QueryID]bool, touched map[QueryID][]roadnet.ObjectID) {
+func (s *monitorSet) applyObjectUpdates(objs []ObjectUpdate, affected map[QueryID]bool) {
 	for _, ou := range objs {
 		switch {
 		case ou.Insert:
 			s.net.AddObject(ou.ID, ou.New)
-			s.markIncoming(ou.ID, ou.New, affected, touched)
+			s.markIncoming(ou.ID, ou.New, affected)
 		case ou.Delete:
 			old, ok := s.net.RemoveObject(ou.ID)
 			if !ok {
 				continue
 			}
-			s.markOutgoing(ou.ID, old, affected, touched)
+			s.markOutgoing(ou.ID, old, affected)
 		default:
 			old := s.net.MoveObject(ou.ID, ou.New)
-			s.markOutgoing(ou.ID, old, affected, touched)
-			s.markIncoming(ou.ID, ou.New, affected, touched)
+			s.markOutgoing(ou.ID, old, affected)
+			s.markIncoming(ou.ID, ou.New, affected)
 		}
 	}
 }
 
 // markOutgoing flags the queries that held the object as a neighbor; the
 // influence list of the object's previous edge bounds the search.
-func (s *monitorSet) markOutgoing(id roadnet.ObjectID, old roadnet.Position, affected map[QueryID]bool, touched map[QueryID][]roadnet.ObjectID) {
+func (s *monitorSet) markOutgoing(id roadnet.ObjectID, old roadnet.Position, affected map[QueryID]bool) {
 	s.forInfluenced(old.Edge, func(q QueryID) {
-		if s.mons[q].cand.contains(id) {
+		m := s.mons[q]
+		if m.cand.contains(id) {
 			affected[q] = true
-			touched[q] = append(touched[q], id)
+			m.touched = append(m.touched, id)
 		}
 	})
 }
 
 // markIncoming flags the queries whose influence region now contains the
 // object and records the object as an incomer for them.
-func (s *monitorSet) markIncoming(id roadnet.ObjectID, pos roadnet.Position, affected map[QueryID]bool, touched map[QueryID][]roadnet.ObjectID) {
+func (s *monitorSet) markIncoming(id roadnet.ObjectID, pos roadnet.Position, affected map[QueryID]bool) {
 	s.forInfluenced(pos.Edge, func(q QueryID) {
 		m := s.mons[q]
 		if m.covers(pos) {
 			affected[q] = true
-			touched[q] = append(touched[q], id)
+			m.touched = append(m.touched, id)
 		}
 	})
 }

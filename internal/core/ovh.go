@@ -16,11 +16,19 @@ type OVH struct {
 	il      *ilTable
 	mons    map[QueryID]*monitor
 	workers int
+	// arenas holds the per-worker scratch arenas for the from-scratch
+	// searches (arena 0 serves the serial paths).
+	arenas arenaPool
 	// stepIDs / stepBufs are the parallel recompute stage's shard list and
 	// per-shard influence-op buffers, retained across steps to amortize
 	// allocations.
 	stepIDs  []QueryID
 	stepBufs [][]ilOp
+}
+
+// arena returns the scratch arena for worker i.
+func (e *OVH) arena(i int) *scratch {
+	return e.arenas.get(i, e.net.G.NumNodes())
 }
 
 // NewOVH creates an OVH engine over net with default options (worker pool
@@ -52,7 +60,7 @@ func (e *OVH) Register(id QueryID, pos roadnet.Position, k int) {
 	}
 	m := newMonitor(e.net, e.il, id, pos, k)
 	e.mons[id] = m
-	m.computeInitial()
+	m.computeInitial(e.arena(0))
 }
 
 // Unregister implements Engine.
@@ -110,10 +118,13 @@ func (e *OVH) Step(u Updates) {
 		for i := range bufs {
 			bufs[i] = bufs[i][:0]
 		}
-		runShards(e.workers, len(ids), func(i int) {
+		for w := 0; w < min(e.workers, len(ids)); w++ {
+			e.arena(w) // pre-create outside the goroutines
+		}
+		runShards(e.workers, len(ids), func(wk, i int) {
 			m := e.mons[ids[i]]
 			m.ilDefer = &bufs[i]
-			m.computeInitial()
+			m.computeInitial(e.arena(wk))
 			m.ilDefer = nil
 		})
 		for i, id := range ids {
@@ -126,8 +137,9 @@ func (e *OVH) Step(u Updates) {
 			}
 		}
 	} else {
+		sc := e.arena(0)
 		for _, id := range ids {
-			e.mons[id].computeInitial()
+			e.mons[id].computeInitial(sc)
 		}
 	}
 }

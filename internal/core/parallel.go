@@ -47,16 +47,19 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runShards executes fn(i) for every i in [0, n) on min(workers, n)
-// goroutines pulling indices from a shared atomic counter. It returns after
-// all calls complete. With workers <= 1 it degenerates to a plain loop.
-func runShards(workers, n int, fn func(int)) {
+// runShards executes fn(w, i) for every i in [0, n) on min(workers, n)
+// goroutines pulling indices from a shared atomic counter. The first
+// argument is the stable worker index in [0, workers) — the key into the
+// per-worker scratch arenas, guaranteeing no two concurrent calls share an
+// arena. It returns after all calls complete. With workers <= 1 it
+// degenerates to a plain loop on worker 0.
+func runShards(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -64,16 +67,16 @@ func runShards(workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -177,7 +180,7 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 	// Fig. 10 lines 1-3: out-of-tree query moves are resolved here — the
 	// covers test must see pre-update weights and trees — while in-tree
 	// moves are held back until after the edge ops, as in serial execution.
-	pendingMoves := moves[:0:0]
+	pendingMoves := s.pendingMoves[:0]
 	for _, mv := range moves {
 		m, ok := s.mons[mv.id]
 		if !ok {
@@ -191,6 +194,7 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 		}
 		pendingMoves = append(pendingMoves, mv)
 	}
+	s.pendingMoves = pendingMoves
 
 	// Lines 4-13: edge updates. Weights are applied to the shared graph now;
 	// the tree-pruning handlers are queued (they never read edge weights —
@@ -236,8 +240,14 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 	}
 
 	// Shard stage: replay each monitor's ops and finalize (lines 20-26).
+	// Worker wk owns arena wk for the whole stage, so the monitors it
+	// processes sequentially reuse one set of expansion buffers.
 	r.sortByID()
-	runShards(s.workers, len(r.works), func(i int) {
+	for w := 0; w < min(s.workers, len(r.works)); w++ {
+		s.arena(w) // pre-create outside the goroutines (arenas is not locked)
+	}
+	runShards(s.workers, len(r.works), func(wk, i int) {
+		sc := s.arena(wk)
 		w := &r.works[i]
 		m, ok := s.mons[w.id]
 		if !ok {
@@ -248,12 +258,12 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 			switch op.kind {
 			case opEdgeDec:
 				affected = true
-				m.onEdgeDecrease(op.edge, op.oldW, op.newW)
+				m.onEdgeDecrease(op.edge, op.oldW, op.newW, sc)
 			case opEdgeInc:
 				affected = true
-				m.onEdgeIncrease(op.edge)
+				m.onEdgeIncrease(op.edge, sc)
 			case opMove:
-				m.onMove(op.pos)
+				m.onMove(op.pos, sc)
 			case opOutgoing:
 				if m.cand.contains(op.obj) {
 					affected = true
@@ -270,13 +280,14 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 			return
 		}
 		m.ilDefer = &w.ilOps
-		w.changed = m.finalize(w.touched, s.trackChanges)
+		w.changed = m.finalize(w.touched, s.trackChanges, sc)
 		m.ilDefer = nil
 	})
 
 	// Merge stage: apply influence-table mutations in ascending monitor
 	// order and collect the change flags.
-	changed := make(map[QueryID]bool)
+	changed := s.changed
+	clear(changed)
 	for i := range r.works {
 		w := &r.works[i]
 		for _, op := range w.ilOps {

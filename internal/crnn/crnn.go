@@ -49,7 +49,25 @@ type Monitor struct {
 
 	assign map[roadnet.ObjectID]Assignment
 	rnn    map[QueryID][]roadnet.ObjectID
-	heap   *pqueue.Min[graph.NodeID]
+	heap   *pqueue.Dense
+
+	// Seed scratch of Refresh: dense per-node seed label/distance arrays
+	// validated by an epoch stamp (the same arena trick as core's scratch),
+	// plus the list of stamped nodes — so seeding allocates nothing and
+	// resets in O(1).
+	seedD     []float64
+	seedQ     []QueryID
+	seedStamp []uint32
+	seedEpoch uint32
+	seedNodes []graph.NodeID
+
+	// sameEdge maps an edge to the queries currently on it; entries are
+	// truncated (not deleted) between refreshes so the slices recycle.
+	sameEdge     map[graph.EdgeID][]QueryID
+	sameEdgeUsed []graph.EdgeID
+
+	// chunks holds the parallel assignment scan's per-worker buffers.
+	chunks [][]objAssign
 
 	// workers sizes the pool for the per-object assignment scan; the
 	// labeling expansion itself is one shared Dijkstra and stays serial.
@@ -68,15 +86,21 @@ func NewWith(net *roadnet.Network, workers int) *Monitor {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	n := net.G.NumNodes()
 	return &Monitor{
-		net:     net,
-		queries: make(map[QueryID]roadnet.Position),
-		label:   make([]QueryID, net.G.NumNodes()),
-		dist:    make([]float64, net.G.NumNodes()),
-		assign:  make(map[roadnet.ObjectID]Assignment),
-		rnn:     make(map[QueryID][]roadnet.ObjectID),
-		heap:    pqueue.New[graph.NodeID](64),
-		workers: workers,
+		net:       net,
+		queries:   make(map[QueryID]roadnet.Position),
+		label:     make([]QueryID, n),
+		dist:      make([]float64, n),
+		assign:    make(map[roadnet.ObjectID]Assignment),
+		rnn:       make(map[QueryID][]roadnet.ObjectID),
+		heap:      pqueue.NewDense(n),
+		seedD:     make([]float64, n),
+		seedQ:     make([]QueryID, n),
+		seedStamp: make([]uint32, n),
+		seedEpoch: 1,
+		sameEdge:  make(map[graph.EdgeID][]QueryID),
+		workers:   workers,
 	}
 }
 
@@ -164,6 +188,11 @@ func (m *Monitor) Refresh() {
 	if len(m.label) != g.NumNodes() {
 		m.label = make([]QueryID, g.NumNodes())
 		m.dist = make([]float64, g.NumNodes())
+		m.seedD = make([]float64, g.NumNodes())
+		m.seedQ = make([]QueryID, g.NumNodes())
+		m.seedStamp = make([]uint32, g.NumNodes())
+		m.seedEpoch = 1
+		m.heap.Grow(g.NumNodes())
 	}
 	for i := range m.label {
 		m.label[i] = NoQuery
@@ -172,15 +201,24 @@ func (m *Monitor) Refresh() {
 	m.heap.Reset()
 
 	// Multi-source Dijkstra: seed both endpoints of every query's edge.
-	// Ties at a node resolve to the smaller query id for determinism.
-	type seed struct {
-		d float64
-		q QueryID
+	// Ties at a node resolve to the smaller query id for determinism. The
+	// seed table is the epoch-stamped dense scratch of the arena design:
+	// no per-refresh map, O(1) reset by bumping the epoch.
+	m.seedEpoch++
+	if m.seedEpoch == 0 {
+		clear(m.seedStamp)
+		m.seedEpoch = 1
 	}
-	seeds := make(map[graph.NodeID]seed, 2*len(m.queries))
+	m.seedNodes = m.seedNodes[:0]
 	offer := func(n graph.NodeID, d float64, q QueryID) {
-		if s, ok := seeds[n]; !ok || d < s.d || (d == s.d && q < s.q) {
-			seeds[n] = seed{d, q}
+		if m.seedStamp[n] != m.seedEpoch {
+			m.seedStamp[n] = m.seedEpoch
+			m.seedD[n], m.seedQ[n] = d, q
+			m.seedNodes = append(m.seedNodes, n)
+			return
+		}
+		if d < m.seedD[n] || (d == m.seedD[n] && q < m.seedQ[n]) {
+			m.seedD[n], m.seedQ[n] = d, q
 		}
 	}
 	for qid, pos := range m.queries {
@@ -188,16 +226,17 @@ func (m *Monitor) Refresh() {
 		offer(e.U, m.net.CostFromU(pos), qid)
 		offer(e.V, m.net.CostFromV(pos), qid)
 	}
-	for n, s := range seeds {
-		m.dist[n] = s.d
-		m.label[n] = s.q
-		m.heap.Push(n, s.d)
+	for _, n := range m.seedNodes {
+		m.dist[n] = m.seedD[n]
+		m.label[n] = m.seedQ[n]
+		m.heap.Push(int32(n), m.seedD[n])
 	}
 	for {
-		n, d, ok := m.heap.PopMin()
+		ni, d, ok := m.heap.PopMin()
 		if !ok {
 			break
 		}
+		n := graph.NodeID(ni)
 		if d > m.dist[n] {
 			continue
 		}
@@ -208,7 +247,7 @@ func (m *Monitor) Refresh() {
 			if nd < m.dist[v] || (nd == m.dist[v] && m.label[n] < m.label[v]) {
 				m.dist[v] = nd
 				m.label[v] = m.label[n]
-				m.heap.Push(v, nd)
+				m.heap.Push(int32(v), nd)
 			}
 		}
 	}
@@ -222,9 +261,17 @@ func (m *Monitor) Refresh() {
 	for q := range m.rnn {
 		m.rnn[q] = m.rnn[q][:0]
 	}
-	sameEdge := make(map[graph.EdgeID][]QueryID, len(m.queries))
+	for _, eid := range m.sameEdgeUsed {
+		m.sameEdge[eid] = m.sameEdge[eid][:0]
+	}
+	m.sameEdgeUsed = m.sameEdgeUsed[:0]
+	sameEdge := m.sameEdge
 	for qid, pos := range m.queries {
-		sameEdge[pos.Edge] = append(sameEdge[pos.Edge], qid)
+		l := sameEdge[pos.Edge]
+		if len(l) == 0 {
+			m.sameEdgeUsed = append(m.sameEdgeUsed, pos.Edge)
+		}
+		sameEdge[pos.Edge] = append(l, qid)
 	}
 
 	assignOn := func(eid graph.EdgeID, out []objAssign) []objAssign {
@@ -257,15 +304,19 @@ func (m *Monitor) Refresh() {
 	if workers > numEdges {
 		workers = numEdges
 	}
+	for len(m.chunks) < workers {
+		m.chunks = append(m.chunks, nil)
+	}
+	chunks := m.chunks[:workers]
 	if workers <= 1 {
-		var buf []objAssign
+		buf := chunks[0][:0]
 		for eid := 0; eid < numEdges; eid++ {
 			buf = assignOn(graph.EdgeID(eid), buf)
 		}
+		chunks[0] = buf
 		m.commitAssignments(buf)
 		return
 	}
-	chunks := make([][]objAssign, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -273,7 +324,7 @@ func (m *Monitor) Refresh() {
 			defer wg.Done()
 			lo := numEdges * w / workers
 			hi := numEdges * (w + 1) / workers
-			var buf []objAssign
+			buf := chunks[w][:0]
 			for eid := lo; eid < hi; eid++ {
 				buf = assignOn(graph.EdgeID(eid), buf)
 			}

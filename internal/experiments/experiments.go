@@ -387,13 +387,24 @@ func ByID(exps []Experiment, id string) *Experiment {
 	return nil
 }
 
-// Cell runs one engine at one point and returns the measured value in the
-// experiment's metric (seconds/ts for CPU, KBytes for Mem). The point's
-// Workers setting is threaded into the engine constructor.
-func Cell(e *Experiment, p Point, engine string) float64 {
-	res := workload.Run(p.Cfg, EngineFor(engine, p.Cfg.Workers))
+// RunPoint runs one engine at one point and returns the full workload
+// measurements (CPU/ts, memory, allocation counters). The point's Workers
+// setting is threaded into the engine constructor.
+func RunPoint(p Point, engine string) workload.Result {
+	return workload.Run(p.Cfg, EngineFor(engine, p.Cfg.Workers))
+}
+
+// CellValue extracts the experiment's metric from a RunPoint result
+// (seconds/ts for CPU, KBytes for Mem).
+func CellValue(e *Experiment, res workload.Result) float64 {
 	if e.Metric == Mem {
 		return float64(res.AvgSizeBytes) / 1024.0
 	}
 	return res.AvgStepSeconds
+}
+
+// Cell runs one engine at one point and returns the measured value in the
+// experiment's metric.
+func Cell(e *Experiment, p Point, engine string) float64 {
+	return CellValue(e, RunPoint(p, engine))
 }

@@ -63,10 +63,29 @@ func (e *Edge) HasEndpoint(n NodeID) bool { return n == e.U || n == e.V }
 
 // Graph is a mutable road network. The zero value is an empty graph ready
 // for use. Graph is not safe for concurrent mutation.
+//
+// Adjacency lives in one of two physical layouts. While the graph is being
+// built (AddNode/AddEdge), a slice-of-slices builder holds per-node edge
+// lists. Freeze compacts them into a CSR (compressed sparse row) layout —
+// one flat []EdgeID plus per-node offsets — which halves pointer chasing on
+// the traversal hot path and keeps every Incident call a contiguous slice
+// of one shared array. Traversal accessors freeze lazily, and mutating the
+// topology after a freeze transparently thaws back to the builder, so the
+// builder API is unchanged; only SetWeight is layout-independent.
+//
+// Concurrent readers (the engines' parallel shard workers) must not race
+// with the lazy freeze: construct the graph fully and call Freeze (or wrap
+// it in roadnet.NewNetwork, which does) before sharing it.
 type Graph struct {
 	nodes []Node
 	edges []Edge
-	adj   [][]EdgeID // incident edge ids per node
+	adj   [][]EdgeID // builder adjacency; nil while frozen
+
+	// CSR adjacency, authoritative while frozen: the edges incident to
+	// node n are csrAdj[csrOff[n]:csrOff[n+1]].
+	csrOff []int32
+	csrAdj []EdgeID
+	frozen bool
 }
 
 // New returns an empty graph with capacity hints.
@@ -78,8 +97,53 @@ func New(nodeHint, edgeHint int) *Graph {
 	}
 }
 
+// Freeze compacts the adjacency into the CSR layout. It is idempotent and
+// cheap to call on an already-frozen graph; topology mutations thaw the
+// graph back automatically.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	if cap(g.csrOff) < len(g.nodes)+1 {
+		g.csrOff = make([]int32, len(g.nodes)+1)
+	} else {
+		g.csrOff = g.csrOff[:len(g.nodes)+1]
+	}
+	if cap(g.csrAdj) < 2*len(g.edges) {
+		g.csrAdj = make([]EdgeID, 2*len(g.edges))
+	} else {
+		g.csrAdj = g.csrAdj[:2*len(g.edges)]
+	}
+	off := int32(0)
+	for n := range g.nodes {
+		g.csrOff[n] = off
+		off += int32(copy(g.csrAdj[off:], g.adj[n]))
+	}
+	g.csrOff[len(g.nodes)] = off
+	g.csrAdj = g.csrAdj[:off]
+	g.adj = nil
+	g.frozen = true
+}
+
+// thaw rebuilds the builder adjacency from the CSR layout so topology
+// mutations can proceed.
+func (g *Graph) thaw() {
+	if !g.frozen {
+		return
+	}
+	g.adj = make([][]EdgeID, len(g.nodes))
+	for n := range g.nodes {
+		row := g.csrAdj[g.csrOff[n]:g.csrOff[n+1]]
+		if len(row) > 0 {
+			g.adj[n] = append([]EdgeID(nil), row...)
+		}
+	}
+	g.frozen = false
+}
+
 // AddNode inserts a node at pt and returns its id.
 func (g *Graph) AddNode(pt geom.Point) NodeID {
+	g.thaw()
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Pt: pt})
 	g.adj = append(g.adj, nil)
@@ -99,6 +163,7 @@ func (g *Graph) AddDirectedEdge(u, v NodeID, w float64) EdgeID {
 }
 
 func (g *Graph) addEdge(u, v NodeID, w float64, directed bool) EdgeID {
+	g.thaw()
 	if !g.validNode(u) || !g.validNode(v) {
 		panic(fmt.Sprintf("graph: AddEdge with invalid endpoint %d-%d", u, v))
 	}
@@ -134,11 +199,22 @@ func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
 func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
 
 // Incident returns the ids of edges incident to n. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Incident(n NodeID) []EdgeID { return g.adj[n] }
+// owned by the graph, must not be modified, and is invalidated by topology
+// mutations. Calling it freezes the graph into the CSR layout.
+func (g *Graph) Incident(n NodeID) []EdgeID {
+	if !g.frozen {
+		g.Freeze()
+	}
+	return g.csrAdj[g.csrOff[n]:g.csrOff[n+1]]
+}
 
 // Degree returns the number of edges incident to n.
-func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+func (g *Graph) Degree(n NodeID) int {
+	if !g.frozen {
+		g.Freeze()
+	}
+	return int(g.csrOff[n+1] - g.csrOff[n])
+}
 
 // SetWeight updates the weight of edge id. It panics on invalid weights.
 func (g *Graph) SetWeight(id EdgeID, w float64) {
@@ -181,12 +257,12 @@ func (g *Graph) Validate() error {
 		if e.W <= 0 {
 			return fmt.Errorf("edge %d has non-positive weight %g", e.ID, e.W)
 		}
-		if !containsEdge(g.adj[e.U], e.ID) || !containsEdge(g.adj[e.V], e.ID) {
+		if !containsEdge(g.Incident(e.U), e.ID) || !containsEdge(g.Incident(e.V), e.ID) {
 			return fmt.Errorf("edge %d missing from endpoint adjacency", e.ID)
 		}
 	}
-	for n, ids := range g.adj {
-		for _, id := range ids {
+	for n := range g.nodes {
+		for _, id := range g.Incident(NodeID(n)) {
 			if id < 0 || int(id) >= len(g.edges) {
 				return fmt.Errorf("node %d lists invalid edge %d", n, id)
 			}
@@ -225,7 +301,7 @@ func (g *Graph) ConnectedComponents() ([]int, int) {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, eid := range g.adj[u] {
+			for _, eid := range g.Incident(u) {
 				v := g.edges[eid].Other(u)
 				if comp[v] == -1 {
 					comp[v] = n
@@ -252,7 +328,7 @@ func (g *Graph) Dijkstra(sources []NodeID, seed []float64, maxDist float64) (dis
 		dist[i] = math.Inf(1)
 		parent[i] = NoNode
 	}
-	q := pqueue.New[NodeID](len(sources) * 4)
+	q := pqueue.NewDense(len(g.nodes))
 	for i, s := range sources {
 		d := 0.0
 		if seed != nil {
@@ -260,18 +336,19 @@ func (g *Graph) Dijkstra(sources []NodeID, seed []float64, maxDist float64) (dis
 		}
 		if d < dist[s] {
 			dist[s] = d
-			q.Push(s, d)
+			q.Push(int32(s), d)
 		}
 	}
 	for q.Len() > 0 {
-		u, du, _ := q.PopMin()
+		ui, du, _ := q.PopMin()
+		u := NodeID(ui)
 		if du > dist[u] {
 			continue
 		}
 		if du > maxDist {
 			break
 		}
-		for _, eid := range g.adj[u] {
+		for _, eid := range g.Incident(u) {
 			e := &g.edges[eid]
 			if e.Directed && e.U != u {
 				continue
@@ -281,7 +358,7 @@ func (g *Graph) Dijkstra(sources []NodeID, seed []float64, maxDist float64) (dis
 			if nd <= maxDist && nd < dist[v] {
 				dist[v] = nd
 				parent[v] = u
-				q.Push(v, nd)
+				q.Push(int32(v), nd)
 			}
 		}
 	}

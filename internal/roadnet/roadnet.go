@@ -49,6 +49,10 @@ type ObjectEntry struct {
 // The graph should be fully constructed (nodes and edges) before wrapping;
 // edges added later are not indexed.
 func NewNetwork(g *graph.Graph) *Network {
+	// Compact the adjacency into the CSR layout now, before the graph is
+	// shared with the engines' parallel shard workers (the lazy freeze
+	// inside graph.Incident must not race).
+	g.Freeze()
 	b := g.Bounds().Expand(1e-9)
 	si := quadtree.New(b)
 	for i := 0; i < g.NumEdges(); i++ {

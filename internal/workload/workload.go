@@ -6,6 +6,7 @@ package workload
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
 	"roadknn/internal/core"
@@ -97,6 +98,12 @@ type Result struct {
 	AvgSizeBytes   int     // mean SizeBytes sampled after each Step
 	MaxSizeBytes   int
 	InitialSeconds float64 // initial result computation for all queries
+	// AvgStepAllocs / AvgStepBytes are the mean heap allocations (count and
+	// bytes) performed inside Step per timestamp, measured with
+	// runtime.ReadMemStats outside the timed region; workload generation is
+	// excluded. They are the benchmark trajectory's allocation metrics.
+	AvgStepAllocs float64
+	AvgStepBytes  float64
 }
 
 // BuildNetwork constructs the configured network.
@@ -223,15 +230,23 @@ func (r *Runner) GenerateStep() core.Updates {
 }
 
 // Run executes the configured number of timestamps and returns the
-// aggregated measurements.
+// aggregated measurements. Allocation counters are sampled around each
+// Step (not around workload generation), outside the timed region, so the
+// CPU metric is unaffected.
 func (r *Runner) Run() Result {
 	res := Result{Engine: r.engine.Name(), Timestamps: r.cfg.Timestamps}
 	var sizeSum int
+	var allocs, bytes uint64
+	var msBefore, msAfter runtime.MemStats
 	for ts := 0; ts < r.cfg.Timestamps; ts++ {
 		u := r.GenerateStep()
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		r.engine.Step(u)
 		res.TotalSeconds += time.Since(start).Seconds()
+		runtime.ReadMemStats(&msAfter)
+		allocs += msAfter.Mallocs - msBefore.Mallocs
+		bytes += msAfter.TotalAlloc - msBefore.TotalAlloc
 		sz := r.engine.SizeBytes()
 		sizeSum += sz
 		if sz > res.MaxSizeBytes {
@@ -241,6 +256,8 @@ func (r *Runner) Run() Result {
 	if res.Timestamps > 0 {
 		res.AvgStepSeconds = res.TotalSeconds / float64(res.Timestamps)
 		res.AvgSizeBytes = sizeSum / res.Timestamps
+		res.AvgStepAllocs = float64(allocs) / float64(res.Timestamps)
+		res.AvgStepBytes = float64(bytes) / float64(res.Timestamps)
 	}
 	return res
 }
