@@ -1,14 +1,19 @@
 package roadknn_test
 
-// Allocation-regression guard for the zero-allocation expansion core: a
-// warmed IMA/GMA Step must stay well under a generous allocation ceiling.
-// Before the arena/treeStore refactor a step at this workload performed
-// ~2000 (IMA) / ~1400 (GMA) heap allocations; afterwards it performs well
+// Allocation-regression guard for the zero-allocation expansion core and
+// the persistent worker pool: a warmed IMA/GMA Step must stay well under a
+// generous allocation ceiling at workers=1 AND workers=4. Before the
+// arena/treeStore refactor a serial step at this workload performed ~2000
+// (IMA) / ~1400 (GMA) heap allocations; before the persistent pool the
+// parallel pipeline added several hundred more per step (goroutine spawns,
+// shard closures, sort.Slice boxing). Afterwards both pipelines sit well
 // under 200 including workload generation. The ceiling is deliberately
 // loose — machine-independent headroom, catching only order-of-magnitude
-// regressions (a reintroduced per-step map or per-expansion buffer).
+// regressions (a reintroduced per-step map, per-expansion buffer, or
+// per-step goroutine spawning).
 
 import (
+	"fmt"
 	"testing"
 
 	"roadknn/internal/experiments"
@@ -21,26 +26,29 @@ func TestStepAllocationRegression(t *testing.T) {
 	// allocs per step here.
 	const ceiling = 600
 
-	cfg := workload.Default().Scale(0.1)
-	cfg.Seed = 1
-	cfg.Workers = 1
-	for _, engName := range []string{"IMA", "GMA"} {
-		t.Run(engName, func(t *testing.T) {
-			r, _ := workload.NewRunner(cfg, experiments.EngineFor(engName, 1))
-			eng := r.Engine()
-			// Warm until edge object lists, per-monitor trees and arena
-			// buffers reach steady state.
-			for i := 0; i < 15; i++ {
-				eng.Step(r.GenerateStep())
-			}
-			avg := testing.AllocsPerRun(20, func() {
-				eng.Step(r.GenerateStep())
+	for _, workers := range []int{1, 4} {
+		for _, engName := range []string{"IMA", "GMA"} {
+			t.Run(fmt.Sprintf("%s/workers=%d", engName, workers), func(t *testing.T) {
+				cfg := workload.Default().Scale(0.1)
+				cfg.Seed = 1
+				cfg.Workers = workers
+				r, _ := workload.NewRunner(cfg, experiments.EngineFor(engName, workers))
+				eng := r.Engine()
+				// Warm until edge object lists, per-monitor trees, router
+				// work lists and arena buffers reach steady state.
+				for i := 0; i < 15; i++ {
+					eng.Step(r.GenerateStep())
+				}
+				avg := testing.AllocsPerRun(20, func() {
+					eng.Step(r.GenerateStep())
+				})
+				t.Logf("%s workers=%d: %.1f allocs per warmed Step (ceiling %d)",
+					engName, workers, avg, ceiling)
+				if avg > ceiling {
+					t.Fatalf("%s workers=%d Step allocates %.1f times per call, above the regression ceiling %d",
+						engName, workers, avg, ceiling)
+				}
 			})
-			t.Logf("%s: %.1f allocs per warmed Step (ceiling %d)", engName, avg, ceiling)
-			if avg > ceiling {
-				t.Fatalf("%s Step allocates %.1f times per call, above the regression ceiling %d",
-					engName, avg, ceiling)
-			}
-		})
+		}
 	}
 }

@@ -10,9 +10,13 @@ package roadknn_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"roadknn"
+	"roadknn/internal/core"
 	"roadknn/internal/experiments"
 	"roadknn/internal/workload"
 )
@@ -130,6 +134,72 @@ func BenchmarkFigureStepAllocs(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServingSnapshotDuringStep measures Step throughput on a
+// serving engine while reader goroutines hammer the epoch-versioned
+// snapshot path the whole time. The readers=0 sub-benchmark is the
+// baseline; the others demonstrate that snapshot reads complete
+// concurrently with Step without blocking it — Step degrades only by CPU
+// sharing (visible on multi-core hosts as near-constant ns/op), and the
+// sustained reader throughput is reported as the reads/s metric.
+func BenchmarkServingSnapshotDuringStep(b *testing.B) {
+	for _, readers := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			cfg := workload.Default().Scale(benchScale)
+			cfg.Workers = 1
+			mk := experiments.EngineWith("GMA", core.Options{Workers: 1, Serving: true})
+			r, _ := workload.NewRunner(cfg, mk)
+			eng := r.Engine()
+			defer eng.Close()
+			eng.Step(r.GenerateStep()) // publish a first stepped snapshot
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var reads atomic.Int64
+			for i := 0; i < readers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var local int64
+					var sink float64
+					for {
+						select {
+						case <-stop:
+							reads.Add(local)
+							benchSink(sink)
+							return
+						default:
+						}
+						snap := eng.Snapshot()
+						for i := 0; i < snap.Len(); i++ {
+							if _, nns := snap.At(i); len(nns) > 0 {
+								sink += nns[0].Dist
+							}
+						}
+						local += int64(snap.Len())
+					}
+				}()
+			}
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step(r.GenerateStep())
+			}
+			b.StopTimer()
+			wall := time.Since(start).Seconds()
+			close(stop)
+			wg.Wait()
+			if readers > 0 && wall > 0 {
+				b.ReportMetric(float64(reads.Load())/wall, "reads/s")
+			}
+		})
+	}
+}
+
+// benchSink defeats dead-code elimination of the reader loops.
+//
+//go:noinline
+func benchSink(v float64) float64 { return v }
 
 // BenchmarkInitialComputation measures the Figure-2 from-scratch search
 // (initial result computation) per query, across k values.

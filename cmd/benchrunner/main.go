@@ -46,6 +46,8 @@ type jsonResult struct {
 	BytesPerStep  float64         `json:"bytes_per_step"`
 	SizeBytes     int             `json:"size_bytes"`
 	Workers       int             `json:"workers"`
+	Readers       int             `json:"readers,omitempty"`
+	ReadsPerSec   float64         `json:"reads_per_sec,omitempty"`
 	Config        workload.Config `json:"config"`
 }
 
@@ -187,6 +189,8 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 					BytesPerStep:  res.AvgStepBytes,
 					SizeBytes:     res.AvgSizeBytes,
 					Workers:       p.Cfg.Workers,
+					Readers:       res.Readers,
+					ReadsPerSec:   res.ReadsPerSec,
 					Config:        p.Cfg,
 				})
 			}

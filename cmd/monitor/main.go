@@ -1,11 +1,25 @@
 // Command monitor runs a continuous k-NN monitoring server over a network
-// file (produced by cmd/netgen) and replays a line-based update stream from
-// stdin, printing result changes — a minimal, scriptable frontend to the
-// library.
+// file (produced by cmd/netgen) in one of two modes:
 //
-// Usage:
+// Serve mode (-serve) exposes the concurrent serving runtime over
+// HTTP/JSON: batched update ingestion, epoch-versioned snapshot reads,
+// long-polling and server-sent-event streaming, backed by an engine with
+// the snapshot read path and persistent worker pool enabled:
 //
 //	netgen -edges 1000 -o net.json
+//	monitor -net net.json -engine gma -serve 127.0.0.1:8080 -tick 100ms
+//
+//	curl -X POST :8080/v1/updates -d '{"objects":[{"id":1,"edge":0,"frac":0.5}],
+//	                                   "queries":[{"id":7,"k":2,"edge":0,"frac":0.1}]}'
+//	curl -X POST :8080/v1/tick            # manual timestamp (with -tick 0)
+//	curl ':8080/v1/snapshot'              # all results, one consistent epoch
+//	curl ':8080/v1/result?query=7&since=4&wait_ms=2000'   # long-poll
+//	curl ':8080/v1/stream?query=7'        # server-sent events
+//	curl ':8080/v1/stats'  ;  curl ':8080/healthz'
+//
+// Replay mode (default) replays a line-based update stream from stdin,
+// printing result changes — a minimal, scriptable frontend:
+//
 //	monitor -net net.json -engine gma < updates.txt
 //
 // Stream protocol (whitespace-separated, one command per line, '#'
@@ -18,19 +32,28 @@
 //	w   <edge> <weight>           # set edge weight
 //	tick                          # end of timestamp: apply batch, report
 //
-// Results are reported after every tick for queries whose k-NN set changed.
+// Results are reported after every tick for queries whose k-NN set
+// changed. Both modes coalesce updates through the same ingestion batcher
+// (serve.Batcher), so a replayed stream and an HTTP-fed replica stay
+// exactly consistent.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"roadknn"
+	"roadknn/internal/serve"
 )
 
 func main() {
@@ -38,6 +61,8 @@ func main() {
 		netFile = flag.String("net", "", "network JSON file (required)")
 		engine  = flag.String("engine", "ima", "monitoring engine: ovh, ima or gma")
 		workers = flag.Int("workers", 0, "worker-pool size for per-query work (0 = all CPUs, 1 = serial)")
+		addr    = flag.String("serve", "", "serve an HTTP/JSON front-end on this address instead of replaying stdin")
+		tick    = flag.Duration("tick", 100*time.Millisecond, "serve mode: stepping period (0 = step only on POST /v1/tick)")
 	)
 	flag.Parse()
 	if *netFile == "" {
@@ -49,7 +74,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 		os.Exit(1)
 	}
-	opts := roadknn.Options{Workers: *workers}
+	opts := roadknn.Options{Workers: *workers, Serving: *addr != ""}
 	var srv roadknn.Engine
 	switch strings.ToLower(*engine) {
 	case "ovh":
@@ -63,20 +88,53 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *addr != "" {
+		if err := serveHTTP(srv, *addr, *tick); err != nil {
+			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := replay(srv, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// replay consumes the update stream, batching commands between ticks.
+// serveHTTP runs the serving runtime until SIGINT/SIGTERM.
+func serveHTTP(eng roadknn.Engine, addr string, tick time.Duration) error {
+	s := serve.New(eng, serve.Config{Tick: tick})
+	s.Start()
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "monitor: serving %s engine on http://%s (tick %v)\n",
+		eng.Name(), addr, tick)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "monitor: %v, shutting down\n", sig)
+	}
+	// Close first: it wakes parked long-pollers and streamers so the
+	// graceful listener shutdown drains instead of timing out on them.
+	s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}
+
+// replay consumes the update stream, batching commands between ticks
+// through the same coalescing Batcher the HTTP front-end uses.
 func replay(srv roadknn.Engine, in *os.File, out *os.File) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
-	known := map[roadknn.ObjectID]roadknn.Position{}
+	batch := serve.NewBatcher()
 	prev := map[roadknn.QueryID]string{}
-	var pending roadknn.Updates
 	ts := 0
 	lineNo := 0
 
@@ -93,37 +151,23 @@ func replay(srv roadknn.Engine, in *os.File, out *os.File) error {
 			if len(f) != 4 {
 				return fail("obj wants: obj <id> <edge> <frac>")
 			}
-			id := roadknn.ObjectID(atoi(f[1]))
-			pos := roadknn.Position{Edge: roadknn.EdgeID(atoi(f[2])), Frac: atof(f[3])}
-			if old, ok := known[id]; ok {
-				pending.Objects = append(pending.Objects, roadknn.ObjectUpdate{ID: id, Old: old, New: pos})
-			} else {
-				pending.Objects = append(pending.Objects, roadknn.ObjectUpdate{ID: id, New: pos, Insert: true})
-			}
-			known[id] = pos
+			batch.Object(roadknn.ObjectID(atoi(f[1])),
+				roadknn.Position{Edge: roadknn.EdgeID(atoi(f[2])), Frac: atof(f[3])})
 		case "del":
 			if len(f) != 2 {
 				return fail("del wants: del <id>")
 			}
-			id := roadknn.ObjectID(atoi(f[1]))
-			old, ok := known[id]
-			if !ok {
+			if !batch.DeleteObject(roadknn.ObjectID(atoi(f[1]))) {
 				return fail("unknown object")
 			}
-			delete(known, id)
-			pending.Objects = append(pending.Objects, roadknn.ObjectUpdate{ID: id, Old: old, Delete: true})
 		case "qry":
 			if len(f) != 5 {
 				return fail("qry wants: qry <id> <k> <edge> <frac>")
 			}
 			id := roadknn.QueryID(atoi(f[1]))
-			pos := roadknn.Position{Edge: roadknn.EdgeID(atoi(f[3])), Frac: atof(f[4])}
-			if _, exists := prev[id]; exists {
-				pending.Queries = append(pending.Queries, roadknn.QueryUpdate{ID: id, New: pos})
-			} else {
-				pending.Queries = append(pending.Queries, roadknn.QueryUpdate{
-					ID: id, New: pos, K: atoi(f[2]), Insert: true,
-				})
+			batch.Query(id, atoi(f[2]),
+				roadknn.Position{Edge: roadknn.EdgeID(atoi(f[3])), Frac: atof(f[4])})
+			if _, exists := prev[id]; !exists {
 				prev[id] = ""
 			}
 		case "end":
@@ -131,19 +175,18 @@ func replay(srv roadknn.Engine, in *os.File, out *os.File) error {
 				return fail("end wants: end <id>")
 			}
 			id := roadknn.QueryID(atoi(f[1]))
-			pending.Queries = append(pending.Queries, roadknn.QueryUpdate{ID: id, Delete: true})
+			// Ending an unknown query is a no-op, as it always was: engines
+			// ignore deletions of unregistered ids.
+			batch.EndQuery(id)
 			delete(prev, id)
 		case "w":
 			if len(f) != 3 {
 				return fail("w wants: w <edge> <weight>")
 			}
-			pending.Edges = append(pending.Edges, roadknn.EdgeUpdate{
-				Edge: roadknn.EdgeID(atoi(f[1])), NewW: atof(f[2]),
-			})
+			batch.Edge(roadknn.EdgeID(atoi(f[1])), atof(f[2]))
 		case "tick":
 			ts++
-			srv.Step(pending)
-			pending = roadknn.Updates{}
+			srv.Step(batch.Drain())
 			for id := range prev {
 				cur := fmt.Sprint(srv.Result(id))
 				if cur != prev[id] {

@@ -28,7 +28,8 @@ func NewIMAUnfilteredWith(net *roadnet.Network, o Options) *IMAUnfiltered {
 	e := &IMAUnfiltered{}
 	e.set = newMonitorSet(net, false)
 	e.set.unfiltered = true
-	e.set.workers = o.workers()
+	e.set.configure(o)
+	e.pub.init(o.Serving, e.resultOf)
 	return e
 }
 
@@ -39,9 +40,11 @@ func (e *IMAUnfiltered) Name() string { return "IMA-NF" }
 // naive application of Lemma 1: every evaluation scans all objects in the
 // whole sequence and merges both endpoint NN sets unconditionally. The
 // paper's §5 argues this "can be very expensive, because a sequence may
-// contain numerous edges and objects".
+// contain numerous edges and objects". The wrapped engine is embedded by
+// pointer: the GMA struct owns a snapshot publisher and a worker pool
+// (with a GC-backed cleanup), neither of which may be copied.
 type GMANaive struct {
-	GMA
+	*GMA
 }
 
 // NewGMANaive creates the ablation engine over net with default options.
@@ -53,7 +56,7 @@ func NewGMANaive(net *roadnet.Network) *GMANaive {
 func NewGMANaiveWith(net *roadnet.Network, o Options) *GMANaive {
 	inner := NewGMAWith(net, o)
 	inner.naiveEval = true
-	return &GMANaive{GMA: *inner}
+	return &GMANaive{GMA: inner}
 }
 
 // Name implements Engine.

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"slices"
 
 	"roadknn/internal/graph"
+	"roadknn/internal/pool"
 	"roadknn/internal/roadnet"
 )
 
@@ -34,6 +36,12 @@ type GMA struct {
 	// workers sizes the worker pool for the parallel phases of Step (the
 	// inner active-node maintenance and the per-query re-evaluations).
 	workers int
+	// pool is the inner monitor set's persistent worker pool, shared by
+	// the evaluation stage (the two parallel stages never overlap); evalFn
+	// is e.evalShard bound once so pool dispatch never allocates.
+	pool   *pool.Pool
+	evalFn func(worker, i int)
+	pub    publisher
 	// evalIDs / evalBufs are the parallel evaluation stage's shard list
 	// and per-shard qIL op buffers, retained across steps to amortize
 	// allocations (mirroring stepRouter).
@@ -96,17 +104,21 @@ func NewGMA(net *roadnet.Network) *GMA {
 // NewGMAWith creates a GMA engine over net with the given options.
 func NewGMAWith(net *roadnet.Network, o Options) *GMA {
 	inner := newMonitorSet(net, true)
-	inner.workers = o.workers()
-	return &GMA{
+	inner.configure(o)
+	e := &GMA{
 		net:      net,
 		seqs:     roadnet.DecomposeSequences(net.G),
 		inner:    inner,
 		queries:  make(map[QueryID]*gmaQuery),
 		qIL:      make([]map[QueryID]qInterval, net.G.NumEdges()),
 		nodeQ:    make(map[graph.NodeID]map[QueryID]int),
-		workers:  o.workers(),
+		workers:  inner.workers,
+		pool:     inner.pool,
 		affected: make(map[QueryID]bool),
 	}
+	e.evalFn = e.evalShard
+	e.pub.init(o.Serving, e.resultOf)
+	return e
 }
 
 // Name implements Engine.
@@ -132,6 +144,7 @@ func (e *GMA) Register(id QueryID, pos roadnet.Position, k int) {
 	e.queries[id] = q
 	e.attach(q, nil)
 	e.evaluate(q, e.arena(0))
+	e.publish()
 }
 
 // Unregister implements Engine.
@@ -142,15 +155,34 @@ func (e *GMA) Unregister(id QueryID) {
 	}
 	e.detach(q, nil)
 	delete(e.queries, id)
+	e.publish()
 }
 
-// Result implements Engine.
-func (e *GMA) Result(id QueryID) []Neighbor {
+// resultOf reads the engine-side current result of one query.
+func (e *GMA) resultOf(id QueryID) []Neighbor {
 	if q, ok := e.queries[id]; ok {
 		return q.result
 	}
 	return nil
 }
+
+// publish installs a fresh snapshot over the registered queries (no-op
+// unless the engine is serving).
+func (e *GMA) publish() { e.pub.publishSet(maps.Keys(e.queries)) }
+
+// Result implements Engine.
+func (e *GMA) Result(id QueryID) []Neighbor {
+	if snap := e.pub.snapshot(); snap != nil {
+		return snap.Result(id)
+	}
+	return e.resultOf(id)
+}
+
+// Snapshot implements Engine.
+func (e *GMA) Snapshot() *Snapshot { return e.pub.snapshot() }
+
+// Close implements Engine.
+func (e *GMA) Close() { e.pool.Close() }
 
 // Queries implements Engine.
 func (e *GMA) Queries() []QueryID {
@@ -339,11 +371,9 @@ func (e *GMA) Step(u Updates) {
 			bufs[i] = bufs[i][:0]
 		}
 		for w := 0; w < min(e.workers, len(ids)); w++ {
-			e.arena(w) // pre-create outside the goroutines
+			e.arena(w) // pre-create outside the workers
 		}
-		runShards(e.workers, len(ids), func(wk, i int) {
-			e.evaluateInto(e.queries[ids[i]], &bufs[i], e.arena(wk))
-		})
+		e.pool.Run(len(ids), e.evalFn)
 		for _, buf := range bufs {
 			for _, op := range buf {
 				e.applyQILOp(op)
@@ -355,6 +385,14 @@ func (e *GMA) Step(u Updates) {
 			e.evaluate(e.queries[qid], sc)
 		}
 	}
+	e.pub.tick()
+	e.publish()
+}
+
+// evalShard re-evaluates query e.evalIDs[i] on pool worker wk, deferring
+// its query-side influence registrations into the shard buffer.
+func (e *GMA) evalShard(wk, i int) {
+	e.evaluateInto(e.queries[e.evalIDs[i]], &e.evalBufs[i], e.arena(wk))
 }
 
 // qilOp is a deferred mutation of the query-side influence table qIL,

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"maps"
+
 	"roadknn/internal/roadnet"
 )
 
 // IMA is the incremental monitoring algorithm (paper §4): each query keeps
-// an expansion tree and influence lists so that only updates landing inside
-// its influence region are processed, and the valid part of the tree is
-// reused after query movements and edge weight changes.
+// an expansion tree and influence lists so that only relevant updates are
+// processed, and the valid part of the tree is reused after query
+// movements and edge weight changes.
 type IMA struct {
 	set *monitorSet
+	pub publisher
 }
 
 // NewIMA creates an IMA engine over net with default options (worker pool
@@ -21,9 +24,10 @@ func NewIMA(net *roadnet.Network) *IMA {
 
 // NewIMAWith creates an IMA engine over net with the given options.
 func NewIMAWith(net *roadnet.Network, o Options) *IMA {
-	set := newMonitorSet(net, false)
-	set.workers = o.workers()
-	return &IMA{set: set}
+	e := &IMA{set: newMonitorSet(net, false)}
+	e.set.configure(o)
+	e.pub.init(o.Serving, e.resultOf)
+	return e
 }
 
 // Name implements Engine.
@@ -35,10 +39,14 @@ func (e *IMA) Network() *roadnet.Network { return e.set.net }
 // Register implements Engine.
 func (e *IMA) Register(id QueryID, pos roadnet.Position, k int) {
 	e.set.register(id, pos, k)
+	e.publish()
 }
 
 // Unregister implements Engine.
-func (e *IMA) Unregister(id QueryID) { e.set.unregister(id) }
+func (e *IMA) Unregister(id QueryID) {
+	e.set.unregister(id)
+	e.publish()
+}
 
 // Step implements Engine. Query terminations are handled before any other
 // update and new installations after all updates, per §4.5.
@@ -48,7 +56,7 @@ func (e *IMA) Step(u Updates) {
 	for _, qu := range u.Queries {
 		switch {
 		case qu.Delete:
-			e.Unregister(qu.ID)
+			e.set.unregister(qu.ID)
 		case qu.Insert:
 			inserts = append(inserts, qu)
 		default:
@@ -57,17 +65,35 @@ func (e *IMA) Step(u Updates) {
 	}
 	e.set.step(u.Objects, u.Edges, moves)
 	for _, qu := range inserts {
-		e.Register(qu.ID, qu.New, qu.K)
+		e.set.register(qu.ID, qu.New, qu.K)
 	}
+	e.pub.tick()
+	e.publish()
 }
 
-// Result implements Engine.
-func (e *IMA) Result(id QueryID) []Neighbor {
+// resultOf reads the engine-side current result of one query (the
+// publisher's accessor; bound once at construction).
+func (e *IMA) resultOf(id QueryID) []Neighbor {
 	if m, ok := e.set.mons[id]; ok {
 		return m.result
 	}
 	return nil
 }
+
+// publish installs a fresh snapshot over the registered queries (no-op
+// unless the engine is serving).
+func (e *IMA) publish() { e.pub.publishSet(maps.Keys(e.set.mons)) }
+
+// Result implements Engine.
+func (e *IMA) Result(id QueryID) []Neighbor {
+	if snap := e.pub.snapshot(); snap != nil {
+		return snap.Result(id)
+	}
+	return e.resultOf(id)
+}
+
+// Snapshot implements Engine.
+func (e *IMA) Snapshot() *Snapshot { return e.pub.snapshot() }
 
 // Queries implements Engine.
 func (e *IMA) Queries() []QueryID {
@@ -80,3 +106,6 @@ func (e *IMA) Queries() []QueryID {
 
 // SizeBytes implements Engine.
 func (e *IMA) SizeBytes() int { return e.set.sizeBytes() }
+
+// Close implements Engine.
+func (e *IMA) Close() { e.set.pool.Close() }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 
 	"roadknn/internal/graph"
+	"roadknn/internal/pool"
 	"roadknn/internal/roadnet"
 )
 
@@ -25,8 +28,15 @@ type monitorSet struct {
 	unfiltered bool
 	// workers selects the step pipeline: > 1 routes updates through the
 	// sharded parallel pipeline of parallel.go, <= 1 runs serially. Engines
-	// set it from Options; the zero value keeps the serial pipeline.
+	// set it (with the pool and shardFn) via configure; the zero value
+	// keeps the serial pipeline.
 	workers int
+	// pool is the persistent worker pool of the shard stages, shared by
+	// every parallel stage of the owning engine (GMA's query evaluations
+	// run on its inner set's pool — the stages never overlap).
+	pool *pool.Pool
+	// shardFn is s.runShard bound once, so pool dispatch never allocates.
+	shardFn func(worker, i int)
 	// router holds the parallel pipeline's routing state, reused across
 	// steps.
 	router stepRouter
@@ -61,6 +71,18 @@ func newMonitorSet(net *roadnet.Network, trackChanges bool) *monitorSet {
 		changed:      make(map[QueryID]bool),
 		aggW:         make(map[graph.EdgeID]float64),
 	}
+}
+
+// configure sizes the worker pool from the engine options and binds the
+// shard callback. The persistent pool starts no goroutines until the
+// first parallel step; it is released by the engine's Close or, as a
+// backstop, by a GC cleanup when the owning set becomes unreachable (the
+// pool never retains a reference back into the set between runs).
+func (s *monitorSet) configure(o Options) {
+	s.workers = o.workers()
+	s.pool = pool.New(s.workers)
+	s.shardFn = s.runShard
+	runtime.AddCleanup(s, func(p *pool.Pool) { p.Close() }, s.pool)
 }
 
 // arena returns the scratch arena for worker i (0 = serial paths).
@@ -207,8 +229,8 @@ func (s *monitorSet) classifyEdgeUpdates(edges []EdgeUpdate) []edgeChange {
 			incs = append(incs, edgeChange{eid: eid, oldW: oldW, newW: agg[eid]})
 		}
 	}
-	sort.Slice(decs, func(i, j int) bool { return decs[i].eid < decs[j].eid })
-	sort.Slice(incs, func(i, j int) bool { return incs[i].eid < incs[j].eid })
+	slices.SortFunc(decs, func(a, b edgeChange) int { return cmp.Compare(a.eid, b.eid) })
+	slices.SortFunc(incs, func(a, b edgeChange) int { return cmp.Compare(a.eid, b.eid) })
 	s.decBuf, s.incBuf = decs, incs
 	s.changeBuf = append(append(s.changeBuf[:0], decs...), incs...)
 	return s.changeBuf

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"maps"
+	"runtime"
 	"slices"
 
+	"roadknn/internal/pool"
 	"roadknn/internal/roadnet"
 )
 
@@ -16,6 +19,11 @@ type OVH struct {
 	il      *ilTable
 	mons    map[QueryID]*monitor
 	workers int
+	// pool is the persistent worker pool of the recompute stage; recFn is
+	// e.recomputeShard bound once so pool dispatch never allocates.
+	pool  *pool.Pool
+	recFn func(worker, i int)
+	pub   publisher
 	// arenas holds the per-worker scratch arenas for the from-scratch
 	// searches (arena 0 serves the serial paths).
 	arenas arenaPool
@@ -39,12 +47,17 @@ func NewOVH(net *roadnet.Network) *OVH {
 
 // NewOVHWith creates an OVH engine over net with the given options.
 func NewOVHWith(net *roadnet.Network, o Options) *OVH {
-	return &OVH{
+	e := &OVH{
 		net:     net,
 		il:      newILTable(net.G.NumEdges()),
 		mons:    make(map[QueryID]*monitor),
 		workers: o.workers(),
 	}
+	e.pool = pool.New(e.workers)
+	e.recFn = e.recomputeShard
+	e.pub.init(o.Serving, e.resultOf)
+	runtime.AddCleanup(e, func(p *pool.Pool) { p.Close() }, e.pool)
+	return e
 }
 
 // Name implements Engine.
@@ -61,10 +74,16 @@ func (e *OVH) Register(id QueryID, pos roadnet.Position, k int) {
 	m := newMonitor(e.net, e.il, id, pos, k)
 	e.mons[id] = m
 	m.computeInitial(e.arena(0))
+	e.publish()
 }
 
 // Unregister implements Engine.
 func (e *OVH) Unregister(id QueryID) {
+	e.unregister(id)
+	e.publish()
+}
+
+func (e *OVH) unregister(id QueryID) {
 	if m, ok := e.mons[id]; ok {
 		m.clearIL()
 		delete(e.mons, id)
@@ -89,7 +108,7 @@ func (e *OVH) Step(u Updates) {
 	for _, qu := range u.Queries {
 		switch {
 		case qu.Delete:
-			e.Unregister(qu.ID)
+			e.unregister(qu.ID)
 		case qu.Insert:
 			m := newMonitor(e.net, e.il, qu.ID, qu.New, qu.K)
 			e.mons[qu.ID] = m
@@ -119,14 +138,9 @@ func (e *OVH) Step(u Updates) {
 			bufs[i] = bufs[i][:0]
 		}
 		for w := 0; w < min(e.workers, len(ids)); w++ {
-			e.arena(w) // pre-create outside the goroutines
+			e.arena(w) // pre-create outside the workers
 		}
-		runShards(e.workers, len(ids), func(wk, i int) {
-			m := e.mons[ids[i]]
-			m.ilDefer = &bufs[i]
-			m.computeInitial(e.arena(wk))
-			m.ilDefer = nil
-		})
+		e.pool.Run(len(ids), e.recFn)
 		for i, id := range ids {
 			for _, op := range bufs[i] {
 				if op.add {
@@ -142,15 +156,41 @@ func (e *OVH) Step(u Updates) {
 			e.mons[id].computeInitial(sc)
 		}
 	}
+	e.pub.tick()
+	e.publish()
 }
 
-// Result implements Engine.
-func (e *OVH) Result(id QueryID) []Neighbor {
+// recomputeShard recomputes query e.stepIDs[i] from scratch on pool worker
+// wk, deferring its influence-table writes into the shard buffer.
+func (e *OVH) recomputeShard(wk, i int) {
+	m := e.mons[e.stepIDs[i]]
+	m.ilDefer = &e.stepBufs[i]
+	m.computeInitial(e.arena(wk))
+	m.ilDefer = nil
+}
+
+// resultOf reads the engine-side current result of one query.
+func (e *OVH) resultOf(id QueryID) []Neighbor {
 	if m, ok := e.mons[id]; ok {
 		return m.result
 	}
 	return nil
 }
+
+// publish installs a fresh snapshot over the registered queries (no-op
+// unless the engine is serving).
+func (e *OVH) publish() { e.pub.publishSet(maps.Keys(e.mons)) }
+
+// Result implements Engine.
+func (e *OVH) Result(id QueryID) []Neighbor {
+	if snap := e.pub.snapshot(); snap != nil {
+		return snap.Result(id)
+	}
+	return e.resultOf(id)
+}
+
+// Snapshot implements Engine.
+func (e *OVH) Snapshot() *Snapshot { return e.pub.snapshot() }
 
 // Queries implements Engine.
 func (e *OVH) Queries() []QueryID {
@@ -170,3 +210,6 @@ func (e *OVH) SizeBytes() int {
 	}
 	return n
 }
+
+// Close implements Engine.
+func (e *OVH) Close() { e.pool.Close() }

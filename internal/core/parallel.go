@@ -1,10 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"slices"
 
 	"roadknn/internal/graph"
 	"roadknn/internal/roadnet"
@@ -36,7 +35,17 @@ import (
 type Options struct {
 	// Workers is the number of goroutines used for the per-shard phases of
 	// Step. 0 means runtime.GOMAXPROCS(0); 1 selects the serial pipeline.
+	// Workers > 1 engines own a persistent worker pool (started lazily,
+	// released by Close or when the engine is garbage collected).
 	Workers int
+	// Serving enables the epoch-versioned snapshot read path: after every
+	// Step, Register and Unregister the engine publishes an immutable
+	// Snapshot of all query results via an atomic pointer flip, and Result
+	// serves from the latest snapshot — lock-free reads that are safe from
+	// any goroutine concurrently with Step and never block it. Off by
+	// default: without serving, reads must happen between Step calls (the
+	// original contract) and publication costs nothing.
+	Serving bool
 }
 
 // workers resolves the configured worker count.
@@ -47,39 +56,12 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runShards executes fn(w, i) for every i in [0, n) on min(workers, n)
-// goroutines pulling indices from a shared atomic counter. The first
-// argument is the stable worker index in [0, workers) — the key into the
-// per-worker scratch arenas, guaranteeing no two concurrent calls share an
-// arena. It returns after all calls complete. With workers <= 1 it
-// degenerates to a plain loop on worker 0.
-func runShards(workers, n int, fn func(worker, i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
+// The shard stages run on a persistent pool.Pool owned by the engine
+// (PR 1's runShards spawned goroutines per step): worker w of the pool is
+// permanently bound to scratch arena w, the calling goroutine participates
+// as worker 0, and the shard callbacks are method values bound once at
+// construction — a steady-state parallel Step performs no goroutine spawn
+// and no closure allocation.
 
 // ilOp is a deferred influence-table mutation emitted by a monitor running
 // on a shard (the owning QueryID is implied by the shard).
@@ -166,7 +148,7 @@ func (r *stepRouter) work(id QueryID) *monWork {
 // sortByID orders the shards by monitor id so that worker scheduling and
 // the merge phase are deterministic. The id index is invalidated.
 func (r *stepRouter) sortByID() {
-	sort.Slice(r.works, func(i, j int) bool { return r.works[i].id < r.works[j].id })
+	slices.SortFunc(r.works, func(a, b monWork) int { return cmp.Compare(a.id, b.id) })
 }
 
 // stepParallel is the parallel counterpart of monitorSet.stepSerial: same
@@ -244,45 +226,9 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 	// processes sequentially reuse one set of expansion buffers.
 	r.sortByID()
 	for w := 0; w < min(s.workers, len(r.works)); w++ {
-		s.arena(w) // pre-create outside the goroutines (arenas is not locked)
+		s.arena(w) // pre-create outside the workers (arenas is not locked)
 	}
-	runShards(s.workers, len(r.works), func(wk, i int) {
-		sc := s.arena(wk)
-		w := &r.works[i]
-		m, ok := s.mons[w.id]
-		if !ok {
-			return
-		}
-		affected := w.pre
-		for _, op := range w.ops {
-			switch op.kind {
-			case opEdgeDec:
-				affected = true
-				m.onEdgeDecrease(op.edge, op.oldW, op.newW, sc)
-			case opEdgeInc:
-				affected = true
-				m.onEdgeIncrease(op.edge, sc)
-			case opMove:
-				m.onMove(op.pos, sc)
-			case opOutgoing:
-				if m.cand.contains(op.obj) {
-					affected = true
-					w.touched = append(w.touched, op.obj)
-				}
-			case opIncoming:
-				if m.covers(op.pos) {
-					affected = true
-					w.touched = append(w.touched, op.obj)
-				}
-			}
-		}
-		if !affected {
-			return
-		}
-		m.ilDefer = &w.ilOps
-		w.changed = m.finalize(w.touched, s.trackChanges, sc)
-		m.ilDefer = nil
-	})
+	s.pool.Run(len(r.works), s.shardFn)
 
 	// Merge stage: apply influence-table mutations in ascending monitor
 	// order and collect the change flags.
@@ -302,6 +248,48 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 		}
 	}
 	return changed
+}
+
+// runShard processes one shard of the current step on pool worker wk:
+// replay the monitor's routed ops, then finalize with influence-table
+// writes deferred into the shard buffer. It is bound once as s.shardFn
+// (a stored method value) so the per-step pool dispatch allocates nothing.
+func (s *monitorSet) runShard(wk, i int) {
+	sc := s.arena(wk)
+	w := &s.router.works[i]
+	m, ok := s.mons[w.id]
+	if !ok {
+		return
+	}
+	affected := w.pre
+	for _, op := range w.ops {
+		switch op.kind {
+		case opEdgeDec:
+			affected = true
+			m.onEdgeDecrease(op.edge, op.oldW, op.newW, sc)
+		case opEdgeInc:
+			affected = true
+			m.onEdgeIncrease(op.edge, sc)
+		case opMove:
+			m.onMove(op.pos, sc)
+		case opOutgoing:
+			if m.cand.contains(op.obj) {
+				affected = true
+				w.touched = append(w.touched, op.obj)
+			}
+		case opIncoming:
+			if m.covers(op.pos) {
+				affected = true
+				w.touched = append(w.touched, op.obj)
+			}
+		}
+	}
+	if !affected {
+		return
+	}
+	m.ilDefer = &w.ilOps
+	w.changed = m.finalize(w.touched, s.trackChanges, sc)
+	m.ilDefer = nil
 }
 
 func (s *monitorSet) routeOutgoing(id roadnet.ObjectID, old roadnet.Position, r *stepRouter) {

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"iter"
+	"slices"
+	"sync/atomic"
+)
+
+// This file implements the epoch-versioned snapshot read path of the
+// serving runtime. An engine built with Options{Serving: true} publishes,
+// after every Step / Register / Unregister, an immutable Snapshot of all
+// query results via one atomic pointer flip; Result and Snapshot reads are
+// then plain atomic loads — lock-free, safe from any number of goroutines
+// concurrently with Step, and never blocking it (or blocked by it).
+//
+// Publication is copy-on-write with structural sharing: a new Snapshot
+// copies only the result slices of queries whose k-NN set actually changed
+// this step — unchanged queries share the previous snapshot's (immutable)
+// slices — so the steady-state *allocation* cost is proportional to the
+// result churn. (The publish itself still walks all Q registered queries:
+// id collection + sort plus a content comparison per query, a few hundred
+// nanoseconds per thousand queries; making that incremental by reusing
+// the sorted id list and the engines' affected sets is a noted follow-up,
+// not yet needed at current scales.) Readers holding an old Snapshot keep
+// a fully consistent view for as long as they like; reclamation is the
+// garbage collector's job.
+
+// Snapshot is an immutable view of every registered query's k-NN result
+// at one consistent engine timestamp. All accessors are safe for
+// concurrent use; the returned Neighbor slices must not be modified.
+type Snapshot struct {
+	epoch uint64
+	stamp uint64
+	ids   []QueryID    // registered queries, ascending
+	res   [][]Neighbor // res[i] is ids[i]'s result
+}
+
+// Epoch returns the publication sequence number: it increases by exactly
+// one with every published snapshot (steps and registration changes), so
+// readers can detect missed versions and long-pollers can wait for
+// "anything newer than e".
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Timestamp returns how many Step calls the engine had applied when this
+// snapshot was published. Several epochs may share a timestamp when
+// queries are registered between steps.
+func (s *Snapshot) Timestamp() uint64 { return s.stamp }
+
+// Len returns the number of registered queries in the snapshot.
+func (s *Snapshot) Len() int { return len(s.ids) }
+
+// At returns the i-th query (in ascending QueryID order) and its result.
+func (s *Snapshot) At(i int) (QueryID, []Neighbor) { return s.ids[i], s.res[i] }
+
+// Result returns query id's k-NN set, sorted by ascending distance (ties
+// by object id), or nil if id is not registered in this snapshot.
+func (s *Snapshot) Result(id QueryID) []Neighbor {
+	res, _ := s.Lookup(id)
+	return res
+}
+
+// Lookup is Result plus a registration flag, distinguishing "registered
+// with an empty result" from "not registered" (binary search over the
+// sorted query ids).
+func (s *Snapshot) Lookup(id QueryID) ([]Neighbor, bool) {
+	if i, ok := slices.BinarySearch(s.ids, id); ok {
+		return s.res[i], true
+	}
+	return nil, false
+}
+
+// publisher is the engine-side writer of the snapshot store. It is
+// embedded in every engine; with serving disabled it only counts steps.
+// All fields except cur are owned by the engine's single mutator
+// goroutine (the one calling Step/Register/Unregister).
+type publisher struct {
+	serving bool
+	// get reads the engine's current result for one query; bound once at
+	// construction so publishing allocates no closure per step.
+	get   func(QueryID) []Neighbor
+	epoch uint64
+	stamp uint64
+	// idBuf is the reused per-publish id collection buffer.
+	idBuf []QueryID
+	cur   atomic.Pointer[Snapshot]
+}
+
+// init configures the publisher. With serving enabled an empty epoch-0
+// snapshot is installed immediately so Snapshot() is never nil on a
+// serving engine.
+func (p *publisher) init(serving bool, get func(QueryID) []Neighbor) {
+	p.serving = serving
+	p.get = get
+	if serving {
+		p.cur.Store(&Snapshot{})
+	}
+}
+
+// tick records one applied Step (tracked whether or not serving is on).
+func (p *publisher) tick() { p.stamp++ }
+
+// snapshot returns the latest published snapshot, or nil when serving is
+// disabled. Safe for concurrent use.
+func (p *publisher) snapshot() *Snapshot { return p.cur.Load() }
+
+// publishSet collects the registered query ids from seq into the reused
+// buffer, sorts them, and publishes a snapshot over them. This is the one
+// publication entry point the engines call (each supplies its own query
+// map's keys). No-op when serving is disabled.
+func (p *publisher) publishSet(seq iter.Seq[QueryID]) {
+	if !p.serving {
+		return
+	}
+	ids := p.idBuf[:0]
+	for id := range seq {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	p.idBuf = ids
+	p.publish(ids)
+}
+
+// publish installs a new snapshot over the given ascending query ids,
+// reading each query's current result through get. Results whose content
+// is unchanged from the previous snapshot share its slices; changed ones
+// are copied, because the engine-side slices are rewritten in place by
+// the next finalize. No-op when serving is disabled.
+func (p *publisher) publish(ids []QueryID) {
+	if !p.serving {
+		return
+	}
+	prev := p.cur.Load()
+	p.epoch++
+	snap := &Snapshot{epoch: p.epoch, stamp: p.stamp}
+	if slices.Equal(ids, prev.ids) {
+		// Common steady-state shape: the query set is unchanged, so the
+		// previous (immutable) ids are shared outright and the res array is
+		// allocated only if some result actually changed — a quiet step
+		// publishes a new epoch with zero slice allocation.
+		snap.ids = prev.ids
+		var res [][]Neighbor // nil until the first changed result
+		for i, id := range ids {
+			cur := p.get(id)
+			if neighborsEqual(prev.res[i], cur) {
+				if res != nil {
+					res[i] = prev.res[i]
+				}
+				continue
+			}
+			if res == nil {
+				res = make([][]Neighbor, len(ids))
+				copy(res[:i], prev.res[:i])
+			}
+			res[i] = slices.Clone(cur)
+		}
+		if res == nil {
+			res = prev.res
+		}
+		snap.res = res
+		p.cur.Store(snap)
+		return
+	}
+	snap.ids = slices.Clone(ids)
+	snap.res = make([][]Neighbor, len(ids))
+	j := 0 // merge cursor into prev.ids (both lists ascend)
+	for i, id := range ids {
+		cur := p.get(id)
+		for j < len(prev.ids) && prev.ids[j] < id {
+			j++
+		}
+		if j < len(prev.ids) && prev.ids[j] == id && neighborsEqual(prev.res[j], cur) {
+			snap.res[i] = prev.res[j]
+			continue
+		}
+		snap.res[i] = slices.Clone(cur)
+	}
+	p.cur.Store(snap)
+}

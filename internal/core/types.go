@@ -75,11 +75,26 @@ type Engine interface {
 	Step(u Updates)
 	// Result returns the current k-NN set of a query, sorted by ascending
 	// distance (ties by object id). The returned slice must not be
-	// modified and is valid until the next Step call.
+	// modified. Without serving (Options.Serving false) it is valid until
+	// the next Step call and must not be called concurrently with Step;
+	// on a serving engine it reads the latest published snapshot —
+	// lock-free, safe from any goroutine, immutable and valid forever.
 	Result(id QueryID) []Neighbor
+	// Snapshot returns the latest published snapshot: every registered
+	// query's result at one consistent timestamp, versioned by a
+	// publication epoch. It returns nil unless the engine was built with
+	// Options{Serving: true}; on a serving engine it is a lock-free
+	// atomic load, safe concurrently with Step and never blocking it.
+	Snapshot() *Snapshot
 	// Queries returns the ids of the registered queries, in no particular
-	// order.
+	// order. Like Step, it must not race Step; concurrent readers should
+	// enumerate queries through Snapshot instead.
 	Queries() []QueryID
+	// Close releases the engine's persistent worker pool. It does not
+	// invalidate published snapshots, but no Step/Register call may be in
+	// flight or follow. Engines abandoned without Close release the pool
+	// when garbage collected.
+	Close()
 	// SizeBytes estimates the memory footprint of the engine's private
 	// bookkeeping structures (expansion trees, influence lists, result
 	// sets), reproducing the measurements of Figure 18.

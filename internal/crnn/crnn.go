@@ -17,9 +17,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"roadknn/internal/graph"
+	"roadknn/internal/pool"
 	"roadknn/internal/pqueue"
 	"roadknn/internal/roadnet"
 )
@@ -66,12 +66,20 @@ type Monitor struct {
 	sameEdge     map[graph.EdgeID][]QueryID
 	sameEdgeUsed []graph.EdgeID
 
-	// chunks holds the parallel assignment scan's per-worker buffers.
+	// chunks holds the parallel assignment scan's per-chunk buffers.
 	chunks [][]objAssign
+	// scanEdges / scanChunks parameterize the current scan for scanChunk:
+	// the edge count and the number of contiguous chunks it is split into.
+	scanEdges  int
+	scanChunks int
 
 	// workers sizes the pool for the per-object assignment scan; the
 	// labeling expansion itself is one shared Dijkstra and stays serial.
+	// The pool is persistent (started lazily, released by Close or GC);
+	// scanFn is m.scanChunk bound once so dispatch never allocates.
 	workers int
+	pool    *pool.Pool
+	scanFn  func(worker, i int)
 }
 
 // New creates a monitor over net with one worker per available CPU.
@@ -87,7 +95,7 @@ func NewWith(net *roadnet.Network, workers int) *Monitor {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := net.G.NumNodes()
-	return &Monitor{
+	m := &Monitor{
 		net:       net,
 		queries:   make(map[QueryID]roadnet.Position),
 		label:     make([]QueryID, n),
@@ -101,8 +109,17 @@ func NewWith(net *roadnet.Network, workers int) *Monitor {
 		seedEpoch: 1,
 		sameEdge:  make(map[graph.EdgeID][]QueryID),
 		workers:   workers,
+		pool:      pool.New(workers),
 	}
+	m.scanFn = m.scanChunk
+	runtime.AddCleanup(m, func(p *pool.Pool) { p.Close() }, m.pool)
+	return m
 }
+
+// Close releases the monitor's persistent worker pool. No Step/Refresh
+// may be in flight or follow; abandoned monitors release the pool when
+// garbage collected.
+func (m *Monitor) Close() { m.pool.Close() }
 
 // Network returns the underlying network model.
 func (m *Monitor) Network() *roadnet.Network { return m.net }
@@ -274,67 +291,69 @@ func (m *Monitor) Refresh() {
 		sameEdge[pos.Edge] = append(l, qid)
 	}
 
-	assignOn := func(eid graph.EdgeID, out []objAssign) []objAssign {
-		e := g.Edge(eid)
-		for _, oe := range m.net.ObjectsOn(eid) {
-			pos := roadnet.Position{Edge: eid, Frac: oe.Frac}
-			best := Assignment{Query: NoQuery, Dist: math.Inf(1)}
-			consider := func(q QueryID, d float64) {
-				if q == NoQuery {
-					return
-				}
-				if d < best.Dist || (d == best.Dist && q < best.Query) {
-					best = Assignment{Query: q, Dist: d}
-				}
-			}
-			consider(m.label[e.U], m.dist[e.U]+pos.Frac*e.W)
-			consider(m.label[e.V], m.dist[e.V]+(1-pos.Frac)*e.W)
-			for _, qid := range sameEdge[eid] {
-				consider(qid, m.net.ArcCost(pos, m.queries[qid]))
-			}
-			if best.Query != NoQuery {
-				out = append(out, objAssign{id: oe.ID, a: best})
-			}
-		}
-		return out
-	}
-
 	numEdges := g.NumEdges()
-	workers := m.workers
-	if workers > numEdges {
-		workers = numEdges
+	chunks := m.workers
+	if chunks > numEdges {
+		chunks = numEdges
 	}
-	for len(m.chunks) < workers {
+	for len(m.chunks) < chunks {
 		m.chunks = append(m.chunks, nil)
 	}
-	chunks := m.chunks[:workers]
-	if workers <= 1 {
-		buf := chunks[0][:0]
+	if chunks <= 1 {
+		buf := m.chunks[0][:0]
 		for eid := 0; eid < numEdges; eid++ {
-			buf = assignOn(graph.EdgeID(eid), buf)
+			buf = m.assignOn(graph.EdgeID(eid), buf)
 		}
-		chunks[0] = buf
+		m.chunks[0] = buf
 		m.commitAssignments(buf)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo := numEdges * w / workers
-			hi := numEdges * (w + 1) / workers
-			buf := chunks[w][:0]
-			for eid := lo; eid < hi; eid++ {
-				buf = assignOn(graph.EdgeID(eid), buf)
-			}
-			chunks[w] = buf
-		}(w)
-	}
-	wg.Wait()
-	for _, buf := range chunks {
+	m.scanEdges, m.scanChunks = numEdges, chunks
+	m.pool.Run(chunks, m.scanFn)
+	for _, buf := range m.chunks[:chunks] {
 		m.commitAssignments(buf)
 	}
+}
+
+// assignOn appends the assignments of every object on edge eid to out,
+// reading only the frozen labeling and query table.
+func (m *Monitor) assignOn(eid graph.EdgeID, out []objAssign) []objAssign {
+	e := m.net.G.Edge(eid)
+	for _, oe := range m.net.ObjectsOn(eid) {
+		pos := roadnet.Position{Edge: eid, Frac: oe.Frac}
+		best := Assignment{Query: NoQuery, Dist: math.Inf(1)}
+		consider := func(q QueryID, d float64) {
+			if q == NoQuery {
+				return
+			}
+			if d < best.Dist || (d == best.Dist && q < best.Query) {
+				best = Assignment{Query: q, Dist: d}
+			}
+		}
+		consider(m.label[e.U], m.dist[e.U]+pos.Frac*e.W)
+		consider(m.label[e.V], m.dist[e.V]+(1-pos.Frac)*e.W)
+		for _, qid := range m.sameEdge[eid] {
+			consider(qid, m.net.ArcCost(pos, m.queries[qid]))
+		}
+		if best.Query != NoQuery {
+			out = append(out, objAssign{id: oe.ID, a: best})
+		}
+	}
+	return out
+}
+
+// scanChunk scans contiguous edge chunk i of the current Refresh on a pool
+// worker, collecting assignments into the chunk's buffer (single writer
+// per chunk; the chunks are merged in edge order afterwards, keeping the
+// rnn slices deterministic regardless of worker count).
+func (m *Monitor) scanChunk(_, i int) {
+	lo := m.scanEdges * i / m.scanChunks
+	hi := m.scanEdges * (i + 1) / m.scanChunks
+	buf := m.chunks[i][:0]
+	for eid := lo; eid < hi; eid++ {
+		buf = m.assignOn(graph.EdgeID(eid), buf)
+	}
+	m.chunks[i] = buf
 }
 
 // objAssign is one object's computed assignment, buffered per shard during

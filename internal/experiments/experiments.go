@@ -60,7 +60,13 @@ func Engines() map[string]func(*roadnet.Network) core.Engine {
 // name. This is how the harness threads the Config.Workers axis into
 // engine construction.
 func EngineFor(name string, workers int) func(*roadnet.Network) core.Engine {
-	o := core.Options{Workers: workers}
+	return EngineWith(name, core.Options{Workers: workers})
+}
+
+// EngineWith returns the constructor for the named engine with full
+// options (worker-pool size and the serving snapshot read path), or nil
+// for an unknown name.
+func EngineWith(name string, o core.Options) func(*roadnet.Network) core.Engine {
 	switch name {
 	case "OVH":
 		return func(n *roadnet.Network) core.Engine { return core.NewOVHWith(n, o) }
@@ -346,6 +352,27 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		exps = append(exps, e)
 	}
 
+	// Scalability S2: the concurrent serving runtime — snapshot readers
+	// hammering Result reads while the pipeline steps (not a paper figure;
+	// supports the ROADMAP's serving-layer goal). The CPU metric reports
+	// the step time under reader pressure; the reads/sec sustained by the
+	// readers lands in the Result/JSON ReadsPerSec field.
+	{
+		e := Experiment{
+			ID: "cr", Title: "Serving: concurrent snapshot readers during stepping",
+			Param: "readers", Metric: CPU, Engines: allEngines,
+			Shape: "reads/sec scales with reader count while the step rate degrades only by CPU sharing; every read is one consistent epoch",
+		}
+		for _, rd := range []int{1, 2, 4} {
+			rd := rd
+			e.Points = append(e.Points, Point{fmt.Sprint(rd), mk(func(c *workload.Config) {
+				c.Serving = true
+				c.Readers = rd
+			})})
+		}
+		exps = append(exps, e)
+	}
+
 	// Ablation A1: value of influence-list filtering (DESIGN.md §7).
 	{
 		e := Experiment{
@@ -388,10 +415,12 @@ func ByID(exps []Experiment, id string) *Experiment {
 }
 
 // RunPoint runs one engine at one point and returns the full workload
-// measurements (CPU/ts, memory, allocation counters). The point's Workers
-// setting is threaded into the engine constructor.
+// measurements (CPU/ts, memory, allocation counters, reader throughput).
+// The point's Workers and Serving/Readers settings are threaded into the
+// engine constructor.
 func RunPoint(p Point, engine string) workload.Result {
-	return workload.Run(p.Cfg, EngineFor(engine, p.Cfg.Workers))
+	o := core.Options{Workers: p.Cfg.Workers, Serving: p.Cfg.Serving || p.Cfg.Readers > 0}
+	return workload.Run(p.Cfg, EngineWith(engine, o))
 }
 
 // CellValue extracts the experiment's metric from a RunPoint result

@@ -12,9 +12,10 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 		"f13a", "f13b", "f14a", "f14b", "f15a", "f15b",
 		"f16a", "f16b", "f17a", "f17b", "f18a", "f18b", "f19a", "f19b",
 	}
-	// +2 ablation experiments, +1 worker-scalability sweep
-	if len(exps) != len(want)+3 {
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+3)
+	// +2 ablation experiments, +1 worker-scalability sweep, +1 concurrent-
+	// readers serving sweep
+	if len(exps) != len(want)+4 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+4)
 	}
 	sw := ByID(exps, "sw")
 	if sw == nil {
@@ -23,6 +24,15 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	for i, p := range sw.Points {
 		if p.Cfg.Workers < 1 {
 			t.Fatalf("sw point %d has Workers %d", i, p.Cfg.Workers)
+		}
+	}
+	cr := ByID(exps, "cr")
+	if cr == nil {
+		t.Fatal("missing concurrent-readers serving sweep")
+	}
+	for i, p := range cr.Points {
+		if p.Cfg.Readers < 1 || !p.Cfg.Serving {
+			t.Fatalf("cr point %d not configured for serving readers: %+v", i, p.Cfg)
 		}
 	}
 	for _, id := range want {

@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 3, 4, 5, 100} {
+		var hits atomic.Int64
+		seen := make([]atomic.Int32, n)
+		p.Run(n, func(w, i int) {
+			if w < 0 || w >= 4 {
+				t.Errorf("worker index %d out of range", w)
+			}
+			seen[i].Add(1)
+			hits.Add(1)
+		})
+		if int(hits.Load()) != n {
+			t.Fatalf("n=%d: ran %d items", n, hits.Load())
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("n=%d: item %d ran %d times", n, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestWorkerIndicesAreExclusive(t *testing.T) {
+	// Two concurrent calls must never share a worker index: give each
+	// worker a counter that detects concurrent entry.
+	const workers = 4
+	p := New(workers)
+	defer p.Close()
+	var inUse [workers]atomic.Int32
+	for round := 0; round < 50; round++ {
+		p.Run(64, func(w, i int) {
+			if inUse[w].Add(1) != 1 {
+				t.Errorf("worker %d entered concurrently", w)
+			}
+			for k := 0; k < 100; k++ {
+				_ = k * k
+			}
+			inUse[w].Add(-1)
+		})
+	}
+}
+
+func TestSerialFallbacks(t *testing.T) {
+	// workers <= 1 and closed pools run inline on the caller (worker 0).
+	for _, mk := range []func() *Pool{
+		func() *Pool { return New(1) },
+		func() *Pool { return New(0) },
+		func() *Pool { p := New(8); p.Close(); return p },
+	} {
+		p := mk()
+		order := make([]int, 0, 5)
+		p.Run(5, func(w, i int) {
+			if w != 0 {
+				t.Fatalf("serial fallback used worker %d", w)
+			}
+			order = append(order, i)
+		})
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("serial fallback out of order: %v", order)
+			}
+		}
+		p.Close() // idempotent
+	}
+}
+
+func TestRunReusableAfterManyRounds(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	total := 0
+	for round := 1; round <= 200; round++ {
+		var c atomic.Int64
+		p.Run(round%17, func(w, i int) { c.Add(1) })
+		total += int(c.Load())
+		if int(c.Load()) != round%17 {
+			t.Fatalf("round %d: got %d calls", round, c.Load())
+		}
+	}
+	if total == 0 {
+		t.Fatal("no work ran")
+	}
+}
+
+func TestSteadyStateRunDoesNotAllocate(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	fn := func(w, i int) {}
+	p.Run(16, fn) // warm: spawn workers
+	avg := testing.AllocsPerRun(100, func() { p.Run(16, fn) })
+	if avg > 0.5 {
+		t.Fatalf("steady-state Run allocates %.1f times per call", avg)
+	}
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"roadknn"
+)
+
+// Batcher coalesces a stream of incoming object/query/edge events into
+// per-timestamp Updates batches for the deterministic Step pipeline. It is
+// the serving runtime's ingestion front-end: clients report where things
+// are (or that they are gone), the Batcher tracks the last state the
+// engine actually applied, and Drain emits the minimal batch that takes
+// the engine from its current state to the reported one:
+//
+//   - several moves of one entity within a tick collapse into a single
+//     update from the last-applied position to the final one;
+//   - an insert followed by moves is a single insert at the final
+//     position; an insert followed by a delete within one tick vanishes;
+//   - an object delete followed by a re-report becomes a plain move; a
+//     query end followed by a re-install becomes a terminate + install
+//     pair (the new k must take effect);
+//   - reporting an entity exactly where the engine already has it emits
+//     nothing at all;
+//   - edge weights keep only the last report per edge (§4.5 aggregation,
+//     performed at ingestion instead of inside the engine).
+//
+// Entities appear in Drain output in first-report order within the tick,
+// so identical input sequences produce byte-identical batches — feeding
+// two replicas the same stream keeps them exactly consistent (the Step
+// pipeline itself is deterministic).
+//
+// A Batcher is not safe for concurrent use; the Server serializes access.
+type Batcher struct {
+	// applied state: what the engine has after the last Drain'd batch.
+	objApplied map[roadknn.ObjectID]roadknn.Position
+	qryApplied map[roadknn.QueryID]appliedQry
+
+	// pending state for the current tick.
+	objPend  map[roadknn.ObjectID]pendingPos
+	objOrder []roadknn.ObjectID
+	qryPend  map[roadknn.QueryID]pendingQry
+	qryOrder []roadknn.QueryID
+	edgePend map[roadknn.EdgeID]float64
+	edgeOrd  []roadknn.EdgeID
+}
+
+type pendingPos struct {
+	pos roadknn.Position
+	del bool
+}
+
+type appliedQry struct {
+	pos roadknn.Position
+	k   int
+}
+
+type pendingQry struct {
+	pos roadknn.Position
+	k   int
+	end bool
+	// reinstall marks an end followed by a re-report within one tick: the
+	// engine must terminate and re-install (the new k takes effect), not
+	// just move.
+	reinstall bool
+}
+
+// NewBatcher returns an empty batcher.
+func NewBatcher() *Batcher {
+	return &Batcher{
+		objApplied: make(map[roadknn.ObjectID]roadknn.Position),
+		qryApplied: make(map[roadknn.QueryID]appliedQry),
+		objPend:    make(map[roadknn.ObjectID]pendingPos),
+		qryPend:    make(map[roadknn.QueryID]pendingQry),
+		edgePend:   make(map[roadknn.EdgeID]float64),
+	}
+}
+
+// Object reports object id at pos (insert or move — the batcher decides
+// which from the applied state).
+func (b *Batcher) Object(id roadknn.ObjectID, pos roadknn.Position) {
+	if _, seen := b.objPend[id]; !seen {
+		b.objOrder = append(b.objOrder, id)
+	}
+	b.objPend[id] = pendingPos{pos: pos}
+}
+
+// DeleteObject reports object id gone. It returns false if the object is
+// neither applied nor pending (an unknown id).
+func (b *Batcher) DeleteObject(id roadknn.ObjectID) bool {
+	_, applied := b.objApplied[id]
+	_, pending := b.objPend[id]
+	if !applied && !pending {
+		return false
+	}
+	if !pending {
+		b.objOrder = append(b.objOrder, id)
+	}
+	b.objPend[id] = pendingPos{del: true}
+	return true
+}
+
+// HasObject reports whether id is currently known (applied or pending
+// non-deleted).
+func (b *Batcher) HasObject(id roadknn.ObjectID) bool {
+	if p, ok := b.objPend[id]; ok {
+		return !p.del
+	}
+	_, ok := b.objApplied[id]
+	return ok
+}
+
+// Query reports query id at pos; k is used only if this installs (or,
+// after an end within the same tick, re-installs) the query — on plain
+// moves the registered k is kept, matching the engine protocol.
+func (b *Batcher) Query(id roadknn.QueryID, k int, pos roadknn.Position) {
+	prev, seen := b.qryPend[id]
+	if !seen {
+		b.qryOrder = append(b.qryOrder, id)
+	}
+	next := pendingQry{pos: pos, k: k}
+	// An end earlier in this tick makes the re-report a reinstall (and a
+	// reinstall stays one through further moves).
+	if seen && (prev.end || prev.reinstall) {
+		next.reinstall = true
+	}
+	b.qryPend[id] = next
+}
+
+// EndQuery terminates query id. It returns false for unknown ids.
+func (b *Batcher) EndQuery(id roadknn.QueryID) bool {
+	_, applied := b.qryApplied[id]
+	_, pending := b.qryPend[id]
+	if !applied && !pending {
+		return false
+	}
+	if !pending {
+		b.qryOrder = append(b.qryOrder, id)
+	}
+	b.qryPend[id] = pendingQry{end: true}
+	return true
+}
+
+// HasQuery reports whether id is currently known (applied or pending
+// non-terminated).
+func (b *Batcher) HasQuery(id roadknn.QueryID) bool {
+	if p, ok := b.qryPend[id]; ok {
+		return !p.end
+	}
+	_, ok := b.qryApplied[id]
+	return ok
+}
+
+// Edge reports edge's new weight (last report within a tick wins).
+func (b *Batcher) Edge(edge roadknn.EdgeID, w float64) {
+	if _, seen := b.edgePend[edge]; !seen {
+		b.edgeOrd = append(b.edgeOrd, edge)
+	}
+	b.edgePend[edge] = w
+}
+
+// Pending returns the number of entities with pending changes.
+func (b *Batcher) Pending() int {
+	return len(b.objPend) + len(b.qryPend) + len(b.edgePend)
+}
+
+// Drain converts the pending reports into one Updates batch, advances the
+// applied state accordingly, and clears the pending state. The returned
+// batch is ready for Engine.Step.
+func (b *Batcher) Drain() roadknn.Updates {
+	var u roadknn.Updates
+	for _, id := range b.objOrder {
+		p := b.objPend[id]
+		old, existed := b.objApplied[id]
+		switch {
+		case p.del && existed:
+			u.Objects = append(u.Objects, roadknn.ObjectUpdate{ID: id, Old: old, Delete: true})
+			delete(b.objApplied, id)
+		case p.del:
+			// Inserted and deleted within one tick: nothing to apply.
+		case existed:
+			if old != p.pos {
+				u.Objects = append(u.Objects, roadknn.ObjectUpdate{ID: id, Old: old, New: p.pos})
+				b.objApplied[id] = p.pos
+			}
+		default:
+			u.Objects = append(u.Objects, roadknn.ObjectUpdate{ID: id, New: p.pos, Insert: true})
+			b.objApplied[id] = p.pos
+		}
+	}
+	for _, id := range b.qryOrder {
+		p := b.qryPend[id]
+		old, existed := b.qryApplied[id]
+		switch {
+		case p.end && existed:
+			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, Delete: true})
+			delete(b.qryApplied, id)
+		case p.end:
+			// Installed and terminated within one tick.
+		case existed && p.reinstall:
+			// End + re-report within one tick: terminate and re-install so
+			// the new k takes effect (engines apply terminations before
+			// installations within a batch).
+			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, Delete: true})
+			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, New: p.pos, K: p.k, Insert: true})
+			b.qryApplied[id] = appliedQry{pos: p.pos, k: p.k}
+		case existed:
+			if old.pos != p.pos {
+				u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, New: p.pos})
+				b.qryApplied[id] = appliedQry{pos: p.pos, k: old.k}
+			}
+		default:
+			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, New: p.pos, K: p.k, Insert: true})
+			b.qryApplied[id] = appliedQry{pos: p.pos, k: p.k}
+		}
+	}
+	for _, eid := range b.edgeOrd {
+		u.Edges = append(u.Edges, roadknn.EdgeUpdate{Edge: eid, NewW: b.edgePend[eid]})
+	}
+	clear(b.objPend)
+	clear(b.qryPend)
+	clear(b.edgePend)
+	b.objOrder = b.objOrder[:0]
+	b.qryOrder = b.qryOrder[:0]
+	b.edgeOrd = b.edgeOrd[:0]
+	return u
+}

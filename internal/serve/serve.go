@@ -1,0 +1,527 @@
+// Package serve exposes a monitoring engine as a concurrent HTTP/JSON
+// service: batched update ingestion on the write side, epoch-versioned
+// snapshot reads on the read side.
+//
+// The design follows the serving runtime's split exactly. One goroutine —
+// the stepper — owns the engine and applies one coalesced Updates batch
+// per tick (a wall-clock ticker, an explicit POST /v1/tick, or both).
+// Readers never touch the engine's mutable state: every GET is answered
+// from the engine's latest published Snapshot, a lock-free atomic load,
+// so any number of concurrent readers poll (or long-poll, or stream)
+// results without ever blocking the pipeline. Because the Step pipeline
+// is deterministic, two replicas fed the same update stream serve
+// byte-identical snapshots at every epoch.
+//
+// Endpoints:
+//
+//	POST /v1/updates   ingest a JSON batch (coalesced into the next tick)
+//	POST /v1/tick      apply pending updates now; returns the new epoch
+//	GET  /v1/snapshot  all query results at one consistent timestamp;
+//	                   ?since=E long-polls until epoch > E (&wait_ms=N)
+//	GET  /v1/result    one query's result: ?query=ID (+since/wait_ms)
+//	GET  /v1/stream    server-sent events: one snapshot per new epoch
+//	GET  /v1/stats     runtime counters (epoch, steps, reads, timings)
+//	GET  /healthz      liveness probe
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadknn"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Tick is the stepping period. Zero disables the wall-clock stepper:
+	// timestamps advance only on POST /v1/tick (useful for tests and
+	// deterministic replay).
+	Tick time.Duration
+	// MaxWait bounds long-poll waiting (default 30s).
+	MaxWait time.Duration
+}
+
+// Server drives one engine and serves it over HTTP. Create with New,
+// mount Handler on any mux/listener, optionally Start the ticker, and
+// Close when done.
+type Server struct {
+	eng roadknn.Engine
+	cfg Config
+	// numEdges bounds incoming edge ids (the edge set is fixed for an
+	// engine's lifetime; only weights change through Step).
+	numEdges int
+
+	// batchMu guards the ingestion batcher; ingestion never blocks on a
+	// running Step (the stepper holds batchMu only for the Drain itself).
+	batchMu sync.Mutex
+	batch   *Batcher
+
+	// stepMu serializes ticks (wall-clock and HTTP-triggered).
+	stepMu sync.Mutex
+
+	// notify is closed and replaced on every publish; long-pollers and
+	// streamers wait on it.
+	notifyMu sync.Mutex
+	notify   chan struct{}
+
+	// counters (atomic: written by stepper and readers concurrently).
+	ingested  atomic.Int64
+	steps     atomic.Int64
+	reads     atomic.Int64
+	stepNanos atomic.Int64
+
+	startOnce sync.Once
+	stopc     chan struct{}
+	done      chan struct{}
+}
+
+// New wraps a serving engine (it must have been built with
+// Options{Serving: true}; New panics otherwise, because every read
+// endpoint depends on the snapshot path).
+func New(eng roadknn.Engine, cfg Config) *Server {
+	if eng.Snapshot() == nil {
+		panic("serve: engine is not serving (build it with Options{Serving: true})")
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 30 * time.Second
+	}
+	return &Server{
+		eng:      eng,
+		cfg:      cfg,
+		numEdges: eng.Network().G.NumEdges(),
+		batch:    NewBatcher(),
+		notify:   make(chan struct{}),
+		stopc:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Engine returns the wrapped engine.
+func (s *Server) Engine() roadknn.Engine { return s.eng }
+
+// Start launches the wall-clock stepper (no-op when Config.Tick is 0).
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		if s.cfg.Tick <= 0 {
+			close(s.done)
+			return
+		}
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.cfg.Tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stopc:
+					return
+				case <-t.C:
+					s.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the stepper, wakes every long-poller and streamer (they
+// answer with the current snapshot and finish), and releases the engine's
+// worker pool. In-flight readers keep their snapshots; new reads keep
+// working off the last one. Call Close before shutting the HTTP listener
+// down gracefully, so parked waiters drain instead of holding the
+// shutdown open until their timeout.
+func (s *Server) Close() {
+	select {
+	case <-s.stopc:
+	default:
+		close(s.stopc)
+	}
+	s.Start() // ensure done is closed even if Start was never called
+	<-s.done
+	s.stepMu.Lock() // wait out an in-flight tick before closing the pool
+	defer s.stepMu.Unlock()
+	s.eng.Close()
+}
+
+// Tick drains the pending batch, applies it as one timestamp, and wakes
+// long-pollers. It returns the newly published snapshot.
+func (s *Server) Tick() *roadknn.Snapshot {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	s.batchMu.Lock()
+	u := s.batch.Drain()
+	s.batchMu.Unlock()
+	start := time.Now()
+	s.eng.Step(u)
+	s.stepNanos.Add(time.Since(start).Nanoseconds())
+	s.steps.Add(1)
+	s.wake()
+	return s.eng.Snapshot()
+}
+
+// wake releases everyone waiting for a new epoch.
+func (s *Server) wake() {
+	s.notifyMu.Lock()
+	close(s.notify)
+	s.notify = make(chan struct{})
+	s.notifyMu.Unlock()
+}
+
+// waitNewer returns the latest snapshot with epoch > since, waiting up to
+// wait for one to be published. On timeout it returns the current
+// snapshot (callers report its epoch; clients re-poll).
+func (s *Server) waitNewer(ctx context.Context, since uint64, wait time.Duration) *roadknn.Snapshot {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		snap := s.eng.Snapshot()
+		if snap.Epoch() > since {
+			return snap
+		}
+		s.notifyMu.Lock()
+		ch := s.notify
+		s.notifyMu.Unlock()
+		// Re-check after grabbing the channel: a publish between the first
+		// check and the grab would otherwise be missed.
+		if snap = s.eng.Snapshot(); snap.Epoch() > since {
+			return snap
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return s.eng.Snapshot()
+		case <-ctx.Done():
+			return s.eng.Snapshot()
+		case <-s.stopc: // server closing: answer with what we have
+			return s.eng.Snapshot()
+		}
+	}
+}
+
+// ---- wire format ----
+
+// batchRequest is the POST /v1/updates payload.
+type batchRequest struct {
+	Objects []objectReport `json:"objects,omitempty"`
+	Queries []queryReport  `json:"queries,omitempty"`
+	Edges   []edgeReport   `json:"edges,omitempty"`
+}
+
+// objectReport places object ID on an edge, or deletes it.
+type objectReport struct {
+	ID     int64   `json:"id"`
+	Edge   int32   `json:"edge"`
+	Frac   float64 `json:"frac"`
+	Delete bool    `json:"delete,omitempty"`
+}
+
+// queryReport installs/moves query ID (K used on install), or ends it.
+type queryReport struct {
+	ID   int32   `json:"id"`
+	K    int     `json:"k,omitempty"`
+	Edge int32   `json:"edge"`
+	Frac float64 `json:"frac"`
+	End  bool    `json:"end,omitempty"`
+}
+
+// edgeReport sets an edge weight.
+type edgeReport struct {
+	Edge int32   `json:"edge"`
+	W    float64 `json:"w"`
+}
+
+type neighborJSON struct {
+	Obj  int64   `json:"obj"`
+	Dist float64 `json:"dist"`
+}
+
+type queryResultJSON struct {
+	ID        int32          `json:"id"`
+	Neighbors []neighborJSON `json:"neighbors"`
+}
+
+type snapshotJSON struct {
+	Epoch     uint64            `json:"epoch"`
+	Timestamp uint64            `json:"timestamp"`
+	Queries   []queryResultJSON `json:"queries"`
+}
+
+func snapshotToJSON(snap *roadknn.Snapshot) snapshotJSON {
+	out := snapshotJSON{
+		Epoch:     snap.Epoch(),
+		Timestamp: snap.Timestamp(),
+		Queries:   make([]queryResultJSON, 0, snap.Len()),
+	}
+	for i := 0; i < snap.Len(); i++ {
+		id, res := snap.At(i)
+		out.Queries = append(out.Queries, resultToJSON(id, res))
+	}
+	return out
+}
+
+func resultToJSON(id roadknn.QueryID, res []roadknn.Neighbor) queryResultJSON {
+	q := queryResultJSON{ID: int32(id), Neighbors: make([]neighborJSON, 0, len(res))}
+	for _, nb := range res {
+		q.Neighbors = append(q.Neighbors, neighborJSON{Obj: int64(nb.Obj), Dist: nb.Dist})
+	}
+	return q
+}
+
+// ---- handlers ----
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/result", s.handleResult)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := len(req.Objects) + len(req.Queries) + len(req.Edges)
+	s.batchMu.Lock()
+	// Validate before touching the batcher: the network edge set is fixed,
+	// and a single out-of-range id or non-finite value reaching Step would
+	// panic the stepper — HTTP input is untrusted, so a bad batch is
+	// rejected whole with 400 and nothing is applied.
+	if err := s.validateBatch(&req); err != nil {
+		s.batchMu.Unlock()
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, o := range req.Objects {
+		id := roadknn.ObjectID(o.ID)
+		if o.Delete {
+			s.batch.DeleteObject(id) // unknown ids are a no-op, not an error
+			continue
+		}
+		s.batch.Object(id, roadknn.Position{Edge: roadknn.EdgeID(o.Edge), Frac: o.Frac})
+	}
+	for _, q := range req.Queries {
+		id := roadknn.QueryID(q.ID)
+		if q.End {
+			s.batch.EndQuery(id)
+			continue
+		}
+		s.batch.Query(id, q.K, roadknn.Position{Edge: roadknn.EdgeID(q.Edge), Frac: q.Frac})
+	}
+	for _, e := range req.Edges {
+		s.batch.Edge(roadknn.EdgeID(e.Edge), e.W)
+	}
+	pending := s.batch.Pending()
+	s.batchMu.Unlock()
+	s.ingested.Add(int64(n))
+	writeJSON(w, map[string]any{"accepted": n, "pending": pending})
+}
+
+// validateBatch bounds-checks an ingestion batch against the network and
+// engine invariants. Caller holds batchMu (query-install detection reads
+// the batcher's applied/pending state).
+func (s *Server) validateBatch(req *batchRequest) error {
+	okPos := func(edge int32, frac float64) error {
+		if edge < 0 || int(edge) >= s.numEdges {
+			return fmt.Errorf("edge %d out of range [0,%d)", edge, s.numEdges)
+		}
+		if !(frac >= 0 && frac <= 1) { // rejects NaN too
+			return fmt.Errorf("frac %v outside [0,1]", frac)
+		}
+		return nil
+	}
+	for _, o := range req.Objects {
+		if o.Delete {
+			continue
+		}
+		if err := okPos(o.Edge, o.Frac); err != nil {
+			return fmt.Errorf("object %d: %w", o.ID, err)
+		}
+	}
+	installed := make(map[roadknn.QueryID]bool)
+	for _, q := range req.Queries {
+		id := roadknn.QueryID(q.ID)
+		if q.End {
+			continue
+		}
+		if err := okPos(q.Edge, q.Frac); err != nil {
+			return fmt.Errorf("query %d: %w", q.ID, err)
+		}
+		// k is consumed only when this report installs the query; engines
+		// panic on k < 1.
+		if !s.batch.HasQuery(id) && !installed[id] && q.K < 1 {
+			return fmt.Errorf("query %d: install requires k >= 1, got %d", q.ID, q.K)
+		}
+		installed[id] = true
+	}
+	for _, e := range req.Edges {
+		if e.Edge < 0 || int(e.Edge) >= s.numEdges {
+			return fmt.Errorf("edge update: edge %d out of range [0,%d)", e.Edge, s.numEdges)
+		}
+		if !(e.W > 0) || math.IsInf(e.W, 1) { // rejects NaN, zero, negative, +Inf
+			return fmt.Errorf("edge %d: weight must be finite and positive, got %v", e.Edge, e.W)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	snap := s.Tick()
+	writeJSON(w, map[string]any{"epoch": snap.Epoch(), "timestamp": snap.Timestamp(), "queries": snap.Len()})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.pollSnapshot(w, r)
+	if !ok {
+		return
+	}
+	s.reads.Add(1)
+	writeJSON(w, snapshotToJSON(snap))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	qid, err := strconv.ParseInt(r.URL.Query().Get("query"), 10, 32)
+	if err != nil {
+		http.Error(w, "missing or bad ?query=", http.StatusBadRequest)
+		return
+	}
+	snap, ok := s.pollSnapshot(w, r)
+	if !ok {
+		return
+	}
+	id := roadknn.QueryID(qid)
+	res, registered := snap.Lookup(id)
+	if !registered {
+		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	s.reads.Add(1)
+	writeJSON(w, map[string]any{
+		"epoch":     snap.Epoch(),
+		"timestamp": snap.Timestamp(),
+		"result":    resultToJSON(id, res),
+	})
+}
+
+// pollSnapshot resolves the ?since / ?wait_ms long-poll parameters.
+func (s *Server) pollSnapshot(w http.ResponseWriter, r *http.Request) (*roadknn.Snapshot, bool) {
+	q := r.URL.Query()
+	sinceStr := q.Get("since")
+	if sinceStr == "" {
+		return s.eng.Snapshot(), true
+	}
+	since, err := strconv.ParseUint(sinceStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad ?since=", http.StatusBadRequest)
+		return nil, false
+	}
+	wait := s.cfg.MaxWait
+	if ws := q.Get("wait_ms"); ws != "" {
+		ms, err := strconv.Atoi(ws)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad ?wait_ms=", http.StatusBadRequest)
+			return nil, false
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < wait {
+			wait = d
+		}
+	}
+	return s.waitNewer(r.Context(), since, wait), true
+}
+
+// handleStream pushes one server-sent event per published epoch until the
+// client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	var qid int64 = -1
+	if qs := r.URL.Query().Get("query"); qs != "" {
+		v, err := strconv.ParseInt(qs, 10, 32)
+		if err != nil {
+			http.Error(w, "bad ?query=", http.StatusBadRequest)
+			return
+		}
+		qid = v
+	}
+	last := uint64(0)
+	for {
+		snap := s.waitNewer(r.Context(), last, s.cfg.MaxWait)
+		if r.Context().Err() != nil {
+			return
+		}
+		select {
+		case <-s.stopc: // server closing: end the stream
+			return
+		default:
+		}
+		if snap.Epoch() <= last { // long-poll timeout: keep-alive comment
+			fmt.Fprintf(w, ": keep-alive\n\n")
+			fl.Flush()
+			continue
+		}
+		last = snap.Epoch()
+		var payload any
+		if qid >= 0 {
+			payload = map[string]any{
+				"epoch":     snap.Epoch(),
+				"timestamp": snap.Timestamp(),
+				"result":    resultToJSON(roadknn.QueryID(qid), snap.Result(roadknn.QueryID(qid))),
+			}
+		} else {
+			payload = snapshotToJSON(snap)
+		}
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return
+		}
+		s.reads.Add(1)
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		fl.Flush()
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	steps := s.steps.Load()
+	var avgMs float64
+	if steps > 0 {
+		avgMs = float64(s.stepNanos.Load()) / float64(steps) / 1e6
+	}
+	writeJSON(w, map[string]any{
+		"engine":      s.eng.Name(),
+		"epoch":       snap.Epoch(),
+		"timestamp":   snap.Timestamp(),
+		"queries":     snap.Len(),
+		"steps":       steps,
+		"avg_step_ms": avgMs,
+		"ingested":    s.ingested.Load(),
+		"reads":       s.reads.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

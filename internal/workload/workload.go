@@ -7,6 +7,8 @@ package workload
 import (
 	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"roadknn/internal/core"
@@ -50,6 +52,14 @@ type Config struct {
 	// Workers is the engine worker-pool size for the run (0 = GOMAXPROCS,
 	// 1 = serial); it parameterizes the scalability sweeps.
 	Workers int
+	// Serving enables the engine's epoch-versioned snapshot read path for
+	// the run (implied by Readers > 0).
+	Serving bool
+	// Readers, when > 0, runs that many goroutines reading snapshots and
+	// results concurrently with the stepping loop for the whole run, and
+	// reports the sustained read rate (Result.ReadsPerSec). This is the
+	// serving runtime's concurrent-reader benchmark axis.
+	Readers int
 }
 
 // Default returns the paper's default setting (Table 2).
@@ -104,6 +114,12 @@ type Result struct {
 	// excluded. They are the benchmark trajectory's allocation metrics.
 	AvgStepAllocs float64
 	AvgStepBytes  float64
+	// Readers / ReadsPerSec report the concurrent-reader measurement: the
+	// number of reader goroutines that ran alongside the stepping loop and
+	// the per-query result reads per wall-clock second they sustained
+	// (0 when the run had no readers).
+	Readers     int
+	ReadsPerSec float64
 }
 
 // BuildNetwork constructs the configured network.
@@ -233,24 +249,82 @@ func (r *Runner) GenerateStep() core.Updates {
 // aggregated measurements. Allocation counters are sampled around each
 // Step (not around workload generation), outside the timed region, so the
 // CPU metric is unaffected.
+//
+// With Config.Readers > 0 (the engine must be serving), that many reader
+// goroutines poll Engine.Snapshot and read every query's result for the
+// whole duration of the stepping loop; the sustained read rate lands in
+// Result.ReadsPerSec. Reader allocations are not attributable to Step,
+// so the allocation counters are skipped for such runs.
 func (r *Runner) Run() Result {
 	res := Result{Engine: r.engine.Name(), Timestamps: r.cfg.Timestamps}
+	readers := r.cfg.Readers
+	var stopReaders func()
+	var reads atomic.Int64
+	wallStart := time.Now()
+	if readers > 0 {
+		if r.engine.Snapshot() == nil {
+			panic("workload: Readers > 0 requires a serving engine (Config.Serving)")
+		}
+		stopc := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < readers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local int64
+				var sink float64
+				for {
+					select {
+					case <-stopc:
+						reads.Add(local)
+						readerSink(sink)
+						return
+					default:
+					}
+					snap := r.engine.Snapshot()
+					for i := 0; i < snap.Len(); i++ {
+						if _, nns := snap.At(i); len(nns) > 0 {
+							sink += nns[0].Dist
+						}
+					}
+					local += int64(snap.Len())
+				}
+			}()
+		}
+		stopReaders = func() {
+			close(stopc)
+			wg.Wait()
+		}
+	}
+
 	var sizeSum int
 	var allocs, bytes uint64
 	var msBefore, msAfter runtime.MemStats
 	for ts := 0; ts < r.cfg.Timestamps; ts++ {
 		u := r.GenerateStep()
-		runtime.ReadMemStats(&msBefore)
+		if readers == 0 {
+			runtime.ReadMemStats(&msBefore)
+		}
 		start := time.Now()
 		r.engine.Step(u)
 		res.TotalSeconds += time.Since(start).Seconds()
-		runtime.ReadMemStats(&msAfter)
-		allocs += msAfter.Mallocs - msBefore.Mallocs
-		bytes += msAfter.TotalAlloc - msBefore.TotalAlloc
+		if readers == 0 {
+			runtime.ReadMemStats(&msAfter)
+			allocs += msAfter.Mallocs - msBefore.Mallocs
+			bytes += msAfter.TotalAlloc - msBefore.TotalAlloc
+		}
 		sz := r.engine.SizeBytes()
 		sizeSum += sz
 		if sz > res.MaxSizeBytes {
 			res.MaxSizeBytes = sz
+		}
+	}
+	if stopReaders != nil {
+		wall := time.Since(wallStart).Seconds()
+		stopReaders()
+		res.Readers = readers
+		if wall > 0 {
+			res.ReadsPerSec = float64(reads.Load()) / wall
 		}
 	}
 	if res.Timestamps > 0 {
@@ -261,6 +335,11 @@ func (r *Runner) Run() Result {
 	}
 	return res
 }
+
+// readerSink defeats dead-code elimination of the reader loops.
+//
+//go:noinline
+func readerSink(v float64) float64 { return v }
 
 // Run builds a runner and executes it; the one-call entry point used by
 // the benchmark harness.

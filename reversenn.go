@@ -71,3 +71,8 @@ func (r *ReverseMonitor) NearestQuery(id ObjectID) (ReverseAssignment, bool) {
 
 // Network returns the underlying network model.
 func (r *ReverseMonitor) Network() *roadnet.Network { return r.m.Network() }
+
+// Close releases the monitor's persistent worker pool. No Step/Refresh
+// may be in flight or follow; abandoned monitors release the pool when
+// garbage collected.
+func (r *ReverseMonitor) Close() { r.m.Close() }

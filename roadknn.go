@@ -34,6 +34,18 @@
 // All engines own their Network: apply updates only through Step (or
 // Register/Unregister), never by mutating the network directly while a
 // monitor is live. Engines assume bidirectional edges, the paper's setting.
+//
+// # Concurrent serving
+//
+// Engines built with Options{Serving: true} publish an immutable,
+// epoch-versioned Snapshot of all query results after every Step — an
+// atomic pointer flip — so any number of reader goroutines can call
+// Result and Snapshot while the pipeline steps, without locks and without
+// ever blocking a Step. Engines with Workers > 1 process per-query work
+// on a persistent worker pool started once per engine; call Close (or let
+// the engine be garbage collected) to release it. The internal/serve
+// package and cmd/monitor's -serve mode expose this runtime over
+// HTTP/JSON with batched update ingestion.
 package roadknn
 
 import (
@@ -66,6 +78,11 @@ type (
 	Neighbor = core.Neighbor
 	// Engine is a continuous k-NN monitoring algorithm.
 	Engine = core.Engine
+	// Snapshot is an immutable, epoch-versioned view of every registered
+	// query's result at one consistent timestamp, published by engines
+	// built with Options{Serving: true} and read lock-free via
+	// Engine.Snapshot concurrently with Step.
+	Snapshot = core.Snapshot
 	// Updates is a timestamp's batch of events.
 	Updates = core.Updates
 	// ObjectUpdate reports an object movement, appearance or disappearance.
