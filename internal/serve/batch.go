@@ -149,6 +149,20 @@ func (b *Batcher) HasQuery(id roadknn.QueryID) bool {
 	return ok
 }
 
+// NeedsK reports whether a (non-end) Query report for id right now would
+// have its k consumed at Drain — i.e. whether it starts or continues an
+// install/reinstall chain rather than moving an applied query. Within a
+// chain the last report's k wins, so every report on it must carry a
+// valid k; validation layers use this to reject k < 1 before it can
+// reach Engine.Register.
+func (b *Batcher) NeedsK(id roadknn.QueryID) bool {
+	if p, ok := b.qryPend[id]; ok && (p.end || p.reinstall) {
+		return true
+	}
+	_, applied := b.qryApplied[id]
+	return !applied
+}
+
 // Edge reports edge's new weight (last report within a tick wins).
 func (b *Batcher) Edge(edge roadknn.EdgeID, w float64) {
 	if _, seen := b.edgePend[edge]; !seen {
@@ -161,6 +175,18 @@ func (b *Batcher) Edge(edge roadknn.EdgeID, w float64) {
 func (b *Batcher) Pending() int {
 	return len(b.objPend) + len(b.qryPend) + len(b.edgePend)
 }
+
+// PendingObject, PendingQuery and PendingEdge report whether the entity
+// already has a pending entry this tick. Admission control uses them:
+// re-reporting a pending entity overwrites in place and does not grow
+// the batcher.
+func (b *Batcher) PendingObject(id roadknn.ObjectID) bool { _, ok := b.objPend[id]; return ok }
+
+// PendingQuery reports whether query id has a pending entry this tick.
+func (b *Batcher) PendingQuery(id roadknn.QueryID) bool { _, ok := b.qryPend[id]; return ok }
+
+// PendingEdge reports whether edge has a pending weight this tick.
+func (b *Batcher) PendingEdge(edge roadknn.EdgeID) bool { _, ok := b.edgePend[edge]; return ok }
 
 // Drain converts the pending reports into one Updates batch, advances the
 // applied state accordingly, and clears the pending state. The returned

@@ -175,6 +175,36 @@ func TestBatcherEndReinstallWithinTick(t *testing.T) {
 	}
 }
 
+// TestBatcherNeedsK: NeedsK must be true exactly when a report's k would
+// reach Engine.Register at Drain — fresh installs, pending installs
+// (last report's k wins), and anything after an end.
+func TestBatcherNeedsK(t *testing.T) {
+	b := NewBatcher()
+	if !b.NeedsK(1) {
+		t.Fatal("unknown query should need k")
+	}
+	b.Query(1, 2, pos(0, 0.1))
+	if !b.NeedsK(1) {
+		t.Fatal("pending install still consumes the last report's k")
+	}
+	b.Drain()
+	if b.NeedsK(1) {
+		t.Fatal("applied query moves without k")
+	}
+	b.EndQuery(1)
+	if !b.NeedsK(1) {
+		t.Fatal("ended query re-installs, needs k")
+	}
+	b.Query(1, 3, pos(1, 0.2))
+	if !b.NeedsK(1) {
+		t.Fatal("reinstall chain still consumes the last report's k")
+	}
+	b.Drain()
+	if b.NeedsK(1) {
+		t.Fatal("re-applied query moves without k")
+	}
+}
+
 // TestBatcherDeterministicReplicas feeds two batcher+engine replicas the
 // same event stream with the same tick boundaries — one serial, one with
 // a worker pool — and checks they serve bit-identical snapshots: the

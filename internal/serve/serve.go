@@ -27,6 +27,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -46,6 +47,14 @@ type Config struct {
 	Tick time.Duration
 	// MaxWait bounds long-poll waiting (default 30s).
 	MaxWait time.Duration
+	// MaxBodyBytes caps a POST /v1/updates body (default 8 MiB); larger
+	// bodies are rejected with 413 before decoding can buffer them.
+	MaxBodyBytes int64
+	// MaxPending caps how many entities may sit in the ingestion batcher
+	// between ticks (default 1<<20). Batches that would push past it are
+	// rejected whole with 429, bounding memory an untrusted client can
+	// pin with updates that are never ticked.
+	MaxPending int
 }
 
 // Server drives one engine and serves it over HTTP. Create with New,
@@ -78,6 +87,7 @@ type Server struct {
 	stepNanos atomic.Int64
 
 	startOnce sync.Once
+	closeOnce sync.Once
 	stopc     chan struct{}
 	done      chan struct{}
 }
@@ -91,6 +101,12 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 	}
 	if cfg.MaxWait <= 0 {
 		cfg.MaxWait = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1 << 20
 	}
 	return &Server{
 		eng:      eng,
@@ -136,11 +152,7 @@ func (s *Server) Start() {
 // down gracefully, so parked waiters drain instead of holding the
 // shutdown open until their timeout.
 func (s *Server) Close() {
-	select {
-	case <-s.stopc:
-	default:
-		close(s.stopc)
-	}
+	s.closeOnce.Do(func() { close(s.stopc) })
 	s.Start() // ensure done is closed even if Start was never called
 	<-s.done
 	s.stepMu.Lock() // wait out an in-flight tick before closing the pool
@@ -291,14 +303,29 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	n := len(req.Objects) + len(req.Queries) + len(req.Edges)
 	s.batchMu.Lock()
+	// Bound batcher memory between ticks: count the distinct entities this
+	// batch would newly add (re-reports of pending entities overwrite in
+	// place), so steady-state move traffic over a large fleet is never
+	// throttled while the pending set itself stays capped.
+	if s.batch.Pending()+s.pendingGrowth(&req) > s.cfg.MaxPending {
+		s.batchMu.Unlock()
+		http.Error(w, fmt.Sprintf("too many pending updates (cap %d); tick or retry later", s.cfg.MaxPending),
+			http.StatusTooManyRequests)
+		return
+	}
 	// Validate before touching the batcher: the network edge set is fixed,
 	// and a single out-of-range id or non-finite value reaching Step would
 	// panic the stepper — HTTP input is untrusted, so a bad batch is
@@ -333,6 +360,45 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"accepted": n, "pending": pending})
 }
 
+// pendingGrowth returns an upper bound on how many new pending entities
+// the batch would add to the batcher: one per distinct id per kind that
+// has no pending entry yet. (No-op deletes/ends of unknown ids are
+// counted too — a harmless overcount.) Caller holds batchMu.
+func (s *Server) pendingGrowth(req *batchRequest) int {
+	grow := 0
+	objs := make(map[int64]struct{}, len(req.Objects))
+	for _, o := range req.Objects {
+		if _, dup := objs[o.ID]; dup {
+			continue
+		}
+		objs[o.ID] = struct{}{}
+		if !s.batch.PendingObject(roadknn.ObjectID(o.ID)) {
+			grow++
+		}
+	}
+	qrys := make(map[int32]struct{}, len(req.Queries))
+	for _, q := range req.Queries {
+		if _, dup := qrys[q.ID]; dup {
+			continue
+		}
+		qrys[q.ID] = struct{}{}
+		if !s.batch.PendingQuery(roadknn.QueryID(q.ID)) {
+			grow++
+		}
+	}
+	edges := make(map[int32]struct{}, len(req.Edges))
+	for _, e := range req.Edges {
+		if _, dup := edges[e.Edge]; dup {
+			continue
+		}
+		edges[e.Edge] = struct{}{}
+		if !s.batch.PendingEdge(roadknn.EdgeID(e.Edge)) {
+			grow++
+		}
+	}
+	return grow
+}
+
 // validateBatch bounds-checks an ingestion batch against the network and
 // engine invariants. Caller holds batchMu (query-install detection reads
 // the batcher's applied/pending state).
@@ -354,21 +420,31 @@ func (s *Server) validateBatch(req *batchRequest) error {
 			return fmt.Errorf("object %d: %w", o.ID, err)
 		}
 	}
-	installed := make(map[roadknn.QueryID]bool)
+	// needsK mirrors the Batcher's install semantics report by report: a
+	// query that is not applied (or was ended — pre-batch, by an earlier
+	// batch this tick, or earlier in THIS batch) is on an install/reinstall
+	// chain, where the last report's k is what Drain hands to
+	// Engine.Register, so every report on the chain must carry k >= 1.
+	// An End report puts the id on that chain; it never leaves it until
+	// the batch is drained.
+	needsK := make(map[roadknn.QueryID]bool)
 	for _, q := range req.Queries {
 		id := roadknn.QueryID(q.ID)
 		if q.End {
+			needsK[id] = true
 			continue
 		}
 		if err := okPos(q.Edge, q.Frac); err != nil {
 			return fmt.Errorf("query %d: %w", q.ID, err)
 		}
-		// k is consumed only when this report installs the query; engines
-		// panic on k < 1.
-		if !s.batch.HasQuery(id) && !installed[id] && q.K < 1 {
+		nk, seen := needsK[id]
+		if !seen {
+			nk = s.batch.NeedsK(id)
+			needsK[id] = nk
+		}
+		if nk && q.K < 1 {
 			return fmt.Errorf("query %d: install requires k >= 1, got %d", q.ID, q.K)
 		}
-		installed[id] = true
 	}
 	for _, e := range req.Edges {
 		if e.Edge < 0 || int(e.Edge) >= s.numEdges {

@@ -270,6 +270,113 @@ func TestServeRejectsMalformedBatches(t *testing.T) {
 	s.Tick()
 }
 
+// TestServeRejectsEndReinstallWithoutK: the Batcher turns an end followed
+// by a re-report within one tick into terminate+install, consuming the
+// re-report's k — so a k-less re-report after an end (in the same batch,
+// a later batch the same tick, or against a pending install) must be
+// rejected with 400, not panic the stepper at the next tick.
+func TestServeRejectsEndReinstallWithoutK(t *testing.T) {
+	s, hs := newTestServer(t)
+	post(t, hs.URL+"/v1/updates", `{
+		"objects":[{"id":1,"edge":0,"frac":0.5},{"id":2,"edge":1,"frac":0.2},{"id":3,"edge":2,"frac":0.4}],
+		"queries":[{"id":1,"k":2,"edge":0,"frac":0.1}]
+	}`)
+	s.Tick()
+
+	expect := func(body string, want int) {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/updates", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("batch %s got status %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+
+	// The review scenario: end + k-less re-report of an applied query in
+	// one batch.
+	expect(`{"queries":[{"id":1,"end":true},{"id":1,"edge":0,"frac":0.5}]}`, http.StatusBadRequest)
+	// Same with an explicit k=0, and with a move appended after the end.
+	expect(`{"queries":[{"id":1,"end":true},{"id":1,"k":0,"edge":0,"frac":0.5}]}`, http.StatusBadRequest)
+	expect(`{"queries":[{"id":1,"end":true},{"id":1,"k":3,"edge":0,"frac":0.5},{"id":1,"edge":1,"frac":0.5}]}`,
+		http.StatusBadRequest) // last report wins: the k-less move would be installed
+	// Install chains: a k-less re-report of a not-yet-ticked install, in
+	// the same batch and across batches within one tick.
+	expect(`{"queries":[{"id":5,"k":2,"edge":0,"frac":0.1},{"id":5,"edge":1,"frac":0.2}]}`, http.StatusBadRequest)
+	expect(`{"queries":[{"id":6,"k":2,"edge":0,"frac":0.1}]}`, http.StatusOK)
+	expect(`{"queries":[{"id":6,"edge":1,"frac":0.2}]}`, http.StatusBadRequest)
+	// End then re-report across batches within one tick.
+	expect(`{"queries":[{"id":1,"end":true}]}`, http.StatusOK)
+	expect(`{"queries":[{"id":1,"edge":0,"frac":0.5}]}`, http.StatusBadRequest)
+	// A well-formed end + reinstall is accepted and the new k serves.
+	expect(`{"queries":[{"id":1,"k":3,"edge":0,"frac":0.1}]}`, http.StatusOK)
+	s.Tick()
+	if _, one := get(t, hs.URL+"/v1/result?query=1"); len(one["result"].(map[string]any)["neighbors"].([]any)) != 3 {
+		t.Fatalf("re-installed query should serve k=3: %v", one)
+	}
+	// The stepper survived every rejected batch.
+	s.Tick()
+}
+
+// TestServeCloseIdempotent: Close must tolerate repeated and concurrent
+// calls (e.g. a signal handler racing a deferred Close).
+func TestServeCloseIdempotent(t *testing.T) {
+	net := roadknn.GenerateNetwork(100, 3)
+	s := New(roadknn.NewIMAWith(net, roadknn.Options{Workers: 2, Serving: true}), Config{Tick: time.Millisecond})
+	s.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	s.Close()
+}
+
+// TestServeIngestionLimits: oversized bodies and pending floods are
+// bounded — an untrusted client cannot exhaust memory through
+// POST /v1/updates.
+func TestServeIngestionLimits(t *testing.T) {
+	net := roadknn.GenerateNetwork(100, 3)
+	s := New(roadknn.NewIMAWith(net, roadknn.Options{Serving: true}), Config{MaxBodyBytes: 256, MaxPending: 3})
+	t.Cleanup(s.Close)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	big := `{"objects":[` + strings.Repeat(`{"id":1,"edge":0,"frac":0.5},`, 20) + `{"id":1,"edge":0,"frac":0.5}]}`
+	resp, err := http.Post(hs.URL+"/v1/updates", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body got status %d, want 413", resp.StatusCode)
+	}
+
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":0,"frac":0.5},{"id":2,"edge":1,"frac":0.5}]}`)
+	resp, err = http.Post(hs.URL+"/v1/updates", "application/json",
+		strings.NewReader(`{"objects":[{"id":3,"edge":0,"frac":0.5},{"id":4,"edge":1,"frac":0.5}]}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("pending flood got status %d, want 429", resp.StatusCode)
+	}
+	// Re-reports of already-pending entities overwrite in place, so
+	// steady-state move traffic is never throttled by the cap.
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":2,"frac":0.1},{"id":2,"edge":0,"frac":0.9}]}`)
+
+	// A tick drains the batcher and ingestion resumes.
+	s.Tick()
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":3,"edge":0,"frac":0.5}]}`)
+}
+
 // TestServeConcurrentReadersAndTicks hammers snapshot/result reads from
 // several goroutines while ticks apply churn, verifying (under -race)
 // that the HTTP read path is lock-free against the stepper.
