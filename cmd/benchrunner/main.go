@@ -48,6 +48,8 @@ type jsonResult struct {
 	Workers       int             `json:"workers"`
 	Readers       int             `json:"readers,omitempty"`
 	ReadsPerSec   float64         `json:"reads_per_sec,omitempty"`
+	WALFsync      string          `json:"wal_fsync,omitempty"`
+	WALBytes      int64           `json:"wal_bytes,omitempty"`
 	Config        workload.Config `json:"config"`
 }
 
@@ -191,6 +193,8 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 					Workers:       p.Cfg.Workers,
 					Readers:       res.Readers,
 					ReadsPerSec:   res.ReadsPerSec,
+					WALFsync:      res.WALFsync,
+					WALBytes:      res.WALBytes,
 					Config:        p.Cfg,
 				})
 			}

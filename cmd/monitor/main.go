@@ -17,6 +17,18 @@
 //	curl ':8080/v1/stream?query=7'        # server-sent events
 //	curl ':8080/v1/stats'  ;  curl ':8080/healthz'
 //
+// With -wal-dir the serve mode is crash-safe: every ingested batch is
+// written to a write-ahead log before it is applied, checkpoints are taken
+// every -checkpoint-every ticks, and a restart pointed at the same
+// directory replays the log and resumes bit-identically where the previous
+// process stopped (healthz answers 503 "recovering" until replay
+// finishes). -fsync picks the durability/throughput trade-off: "always"
+// fsyncs every record, "tick" (default) once per tick, "never" leaves
+// flushing to the OS.
+//
+//	monitor -net net.json -engine ima -serve 127.0.0.1:8080 \
+//	        -wal-dir /var/lib/monitor/wal -checkpoint-every 60 -fsync tick
+//
 // Replay mode (default) replays a line-based update stream from stdin,
 // printing result changes — a minimal, scriptable frontend:
 //
@@ -54,6 +66,7 @@ import (
 
 	"roadknn"
 	"roadknn/internal/serve"
+	"roadknn/internal/wal"
 )
 
 func main() {
@@ -63,10 +76,22 @@ func main() {
 		workers = flag.Int("workers", 0, "worker-pool size for per-query work (0 = all CPUs, 1 = serial)")
 		addr    = flag.String("serve", "", "serve an HTTP/JSON front-end on this address instead of replaying stdin")
 		tick    = flag.Duration("tick", 100*time.Millisecond, "serve mode: stepping period (0 = step only on POST /v1/tick)")
+		walDir  = flag.String("wal-dir", "", "serve mode: directory for the write-ahead log (enables crash recovery)")
+		ckEvery = flag.Int("checkpoint-every", 60, "serve mode: write a checkpoint every N ticks (0 = never; needs -wal-dir)")
+		fsync   = flag.String("fsync", "tick", "serve mode: WAL fsync policy: always, tick or never")
 	)
 	flag.Parse()
 	if *netFile == "" {
 		fmt.Fprintln(os.Stderr, "monitor: -net is required")
+		os.Exit(1)
+	}
+	if *walDir != "" && *addr == "" {
+		fmt.Fprintln(os.Stderr, "monitor: -wal-dir requires -serve")
+		os.Exit(1)
+	}
+	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 		os.Exit(1)
 	}
 	net, err := loadNetwork(*netFile)
@@ -89,7 +114,7 @@ func main() {
 	}
 
 	if *addr != "" {
-		if err := serveHTTP(srv, *addr, *tick); err != nil {
+		if err := serveHTTP(srv, *addr, *tick, *walDir, *ckEvery, syncPolicy); err != nil {
 			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,15 +126,38 @@ func main() {
 	}
 }
 
-// serveHTTP runs the serving runtime until SIGINT/SIGTERM.
-func serveHTTP(eng roadknn.Engine, addr string, tick time.Duration) error {
-	s := serve.New(eng, serve.Config{Tick: tick})
-	s.Start()
+// serveHTTP runs the serving runtime until SIGINT/SIGTERM. With a WAL
+// directory the listener comes up first — /healthz reports "recovering"
+// (503) while the log replays — and the wall-clock stepper starts only
+// once the engine is rebuilt.
+func serveHTTP(eng roadknn.Engine, addr string, tick time.Duration, walDir string, ckEvery int, sync wal.SyncPolicy) error {
+	cfg := serve.Config{Tick: tick}
+	var rec *wal.Recovery
+	if walDir != "" {
+		l, r, err := wal.OpenDir(walDir, wal.Options{Sync: sync})
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		cfg.WAL, cfg.CheckpointEvery, rec = l, ckEvery, r
+	}
+	s := serve.New(eng, cfg)
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "monitor: serving %s engine on http://%s (tick %v)\n",
 		eng.Name(), addr, tick)
+	if cfg.WAL != nil {
+		st, err := s.Recover(rec)
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"monitor: wal %s recovered in %v: checkpoint stamp %d, %d batches (%d updates) replayed, "+
+				"%d ticks verified, %d bytes truncated\n",
+			walDir, st.Duration.Round(time.Millisecond), st.CheckpointStamp,
+			st.ReplayedBatches, st.ReplayedUpdates, st.VerifiedTicks, st.TruncatedBytes)
+	}
+	s.Start()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -181,6 +181,28 @@ func (e *GMA) Result(id QueryID) []Neighbor {
 // Snapshot implements Engine.
 func (e *GMA) Snapshot() *Snapshot { return e.pub.snapshot() }
 
+// RestoreClock implements ClockRestorer: it seeds the epoch/timestamp
+// counters after a recovery rebuild (see internal/wal).
+func (e *GMA) RestoreClock(epoch, stamp uint64) { e.pub.restore(epoch, stamp) }
+
+// Rebuild implements Rebuilder: the inner active-node monitors are
+// recomputed from scratch, then every query is re-evaluated serially in
+// ascending id order against the canonical node results and the result
+// republished.
+func (e *GMA) Rebuild() {
+	e.inner.rebuildAll()
+	ids := make([]QueryID, 0, len(e.queries))
+	for id := range e.queries {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	sc := e.arena(0)
+	for _, id := range ids {
+		e.evaluate(e.queries[id], sc)
+	}
+	e.publish()
+}
+
 // Close implements Engine.
 func (e *GMA) Close() { e.pool.Close() }
 

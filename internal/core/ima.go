@@ -95,6 +95,18 @@ func (e *IMA) Result(id QueryID) []Neighbor {
 // Snapshot implements Engine.
 func (e *IMA) Snapshot() *Snapshot { return e.pub.snapshot() }
 
+// RestoreClock implements ClockRestorer: it seeds the epoch/timestamp
+// counters after a recovery rebuild (see internal/wal).
+func (e *IMA) RestoreClock(epoch, stamp uint64) { e.pub.restore(epoch, stamp) }
+
+// Rebuild implements Rebuilder: every monitor is recomputed from scratch at
+// the current positions and the result republished, canonicalizing the
+// incremental expansion-tree state for checkpointing.
+func (e *IMA) Rebuild() {
+	e.set.rebuildAll()
+	e.publish()
+}
+
 // Queries implements Engine.
 func (e *IMA) Queries() []QueryID {
 	out := make([]QueryID, 0, len(e.set.mons))

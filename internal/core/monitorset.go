@@ -107,6 +107,31 @@ func (s *monitorSet) register(id QueryID, pos roadnet.Position, k int) *monitor 
 	return m
 }
 
+// rebuildAll discards every monitor's incremental state — expansion
+// trees, cached distances, influence lists — and recomputes it from
+// scratch at the current positions and weights, exactly as a fresh
+// registration would. Incremental maintenance (retained subtrees shifted
+// by deltas, §4.3-4.4) accumulates floating-point sums in history-
+// dependent association orders, so two engines that arrived at the same
+// logical state through different update sequences can disagree in the
+// last bits; rebuildAll canonicalizes the state so that a from-scratch
+// replica built at this instant is bit-identical. The durability layer
+// calls it at checkpoint boundaries.
+func (s *monitorSet) rebuildAll() {
+	ids := make([]QueryID, 0, len(s.mons))
+	for id := range s.mons {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	sc := s.arena(0)
+	for _, id := range ids {
+		m := s.mons[id]
+		m.clearIL()
+		m.reset(id, m.pos, m.k)
+		m.computeInitial(sc)
+	}
+}
+
 func (s *monitorSet) unregister(id QueryID) {
 	m, ok := s.mons[id]
 	if !ok {

@@ -192,6 +192,27 @@ func (e *OVH) Result(id QueryID) []Neighbor {
 // Snapshot implements Engine.
 func (e *OVH) Snapshot() *Snapshot { return e.pub.snapshot() }
 
+// RestoreClock implements ClockRestorer: it seeds the epoch/timestamp
+// counters after a recovery rebuild (see internal/wal).
+func (e *OVH) RestoreClock(epoch, stamp uint64) { e.pub.restore(epoch, stamp) }
+
+// Rebuild implements Rebuilder. OVH already recomputes every query from
+// scratch on each Step, so its monitor state is canonical by construction;
+// a serial recompute pass plus a fresh publication keeps the checkpoint
+// contract uniform across engines.
+func (e *OVH) Rebuild() {
+	ids := make([]QueryID, 0, len(e.mons))
+	for id := range e.mons {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	sc := e.arena(0)
+	for _, id := range ids {
+		e.mons[id].computeInitial(sc)
+	}
+	e.publish()
+}
+
 // Queries implements Engine.
 func (e *OVH) Queries() []QueryID {
 	out := make([]QueryID, 0, len(e.mons))

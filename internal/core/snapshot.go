@@ -103,6 +103,22 @@ func (p *publisher) tick() { p.stamp++ }
 // disabled. Safe for concurrent use.
 func (p *publisher) snapshot() *Snapshot { return p.cur.Load() }
 
+// restore seeds the publication clock to (epoch, stamp) after a recovery
+// rebuild. A recovered engine is reconstructed by replaying a compressed
+// history (checkpoint install batch + WAL tail), so its step/publish
+// counters lag the original's; restore re-aligns them and republishes the
+// current results under the restored numbers, letting subsequent epochs
+// continue the pre-crash sequence. Must be called from the engine's
+// mutator goroutine, like Step.
+func (p *publisher) restore(epoch, stamp uint64) {
+	p.epoch, p.stamp = epoch, stamp
+	if !p.serving {
+		return
+	}
+	cur := p.cur.Load()
+	p.cur.Store(&Snapshot{epoch: epoch, stamp: stamp, ids: cur.ids, res: cur.res})
+}
+
 // publishSet collects the registered query ids from seq into the reused
 // buffer, sorts them, and publishes a snapshot over them. This is the one
 // publication entry point the engines call (each supplies its own query

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"roadknn/internal/roadnet"
+)
+
+// This file gives snapshots a canonical binary form, the currency of the
+// durability subsystem (internal/wal): checkpoints embed the serialized
+// snapshot so recovery can prove the rebuilt engine bit-identical to the
+// crashed one, tick records carry its CRC so WAL replay detects divergence
+// (e.g. an operator restarting against a different network file), and the
+// recovery tests bit-compare recovered engines against never-crashed
+// replicas through it. The encoding is deterministic: two snapshots encode
+// to the same bytes iff they have the same epoch, timestamp, query set and
+// per-query results (distances compared by their float64 bit patterns).
+//
+// Layout (little-endian, no varints — the format is an internal artifact
+// versioned by the enclosing WAL/checkpoint container, not a public wire
+// format):
+//
+//	u64 epoch | u64 timestamp | u32 nQueries
+//	per query (ascending id): i32 id | u32 nNeighbors
+//	per neighbor:             i32 obj | u64 float64bits(dist)
+
+// AppendBinary appends the snapshot's canonical encoding to buf and
+// returns the extended slice. Safe for concurrent use (snapshots are
+// immutable).
+func (s *Snapshot) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, s.epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, s.stamp)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.ids)))
+	for i, id := range s.ids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.res[i])))
+		for _, nb := range s.res[i] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(nb.Obj))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nb.Dist))
+		}
+	}
+	return buf
+}
+
+// MarshalBinary returns the snapshot's canonical encoding.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(nil), nil
+}
+
+// CRC returns the IEEE CRC32 of the snapshot's canonical encoding,
+// appending the intermediate bytes to buf (callers reuse buf to keep the
+// per-tick checksum allocation-free). The returned slice is buf extended;
+// the checksum covers only the bytes appended by this call.
+func (s *Snapshot) CRC(buf []byte) (uint32, []byte) {
+	start := len(buf)
+	buf = s.AppendBinary(buf)
+	return crc32.ChecksumIEEE(buf[start:]), buf
+}
+
+// UnmarshalSnapshot decodes a canonical snapshot encoding. The result is a
+// detached, immutable snapshot (not published anywhere); it is the read
+// side used by checkpoint loading and debugging tools.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	d := snapDecoder{buf: data}
+	s := &Snapshot{
+		epoch: d.u64(),
+		stamp: d.u64(),
+	}
+	n := int(d.u32())
+	if d.err == nil && n > len(data)/8 { // cheap sanity bound before allocating
+		return nil, fmt.Errorf("core: snapshot header claims %d queries in %d bytes", n, len(data))
+	}
+	s.ids = make([]QueryID, 0, n)
+	s.res = make([][]Neighbor, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		id := QueryID(d.u32())
+		nn := int(d.u32())
+		if d.err == nil && nn > (len(data)-d.off)/12 {
+			return nil, fmt.Errorf("core: snapshot query %d claims %d neighbors in %d remaining bytes", id, nn, len(data)-d.off)
+		}
+		res := make([]Neighbor, 0, nn)
+		for j := 0; j < nn && d.err == nil; j++ {
+			obj := d.u32()
+			dist := math.Float64frombits(d.u64())
+			res = append(res, Neighbor{Obj: roadnet.ObjectID(int32(obj)), Dist: dist})
+		}
+		s.ids = append(s.ids, id)
+		s.res = append(s.res, res)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("core: %d trailing bytes after snapshot", len(data)-d.off)
+	}
+	return s, nil
+}
+
+type snapDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("core: snapshot truncated at byte %d", len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *snapDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *snapDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -373,6 +373,27 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		exps = append(exps, e)
 	}
 
+	// Scalability S3: the durable ingestion path — per-step cost with the
+	// write-ahead log off and under each fsync policy (not a paper figure;
+	// supports the ROADMAP's crash-safety goal). The bytes appended per run
+	// land in the Result/JSON WALBytes field.
+	{
+		e := Experiment{
+			ID: "wal", Title: "Durability: CPU time vs WAL fsync policy",
+			Param: "fsync", Metric: CPU, Engines: allEngines,
+			Shape: "never/tick cost a small constant per step (encode + write); always pays one fsync per batch",
+		}
+		for _, mode := range []string{"off", "never", "tick", "always"} {
+			mode := mode
+			e.Points = append(e.Points, Point{mode, mk(func(c *workload.Config) {
+				if mode != "off" {
+					c.WALFsync = mode
+				}
+			})})
+		}
+		exps = append(exps, e)
+	}
+
 	// Ablation A1: value of influence-list filtering (DESIGN.md §7).
 	{
 		e := Experiment{

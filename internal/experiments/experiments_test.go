@@ -13,9 +13,9 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 		"f16a", "f16b", "f17a", "f17b", "f18a", "f18b", "f19a", "f19b",
 	}
 	// +2 ablation experiments, +1 worker-scalability sweep, +1 concurrent-
-	// readers serving sweep
-	if len(exps) != len(want)+4 {
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+4)
+	// readers serving sweep, +1 WAL fsync-policy sweep
+	if len(exps) != len(want)+5 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+5)
 	}
 	sw := ByID(exps, "sw")
 	if sw == nil {
@@ -33,6 +33,18 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	for i, p := range cr.Points {
 		if p.Cfg.Readers < 1 || !p.Cfg.Serving {
 			t.Fatalf("cr point %d not configured for serving readers: %+v", i, p.Cfg)
+		}
+	}
+	wl := ByID(exps, "wal")
+	if wl == nil {
+		t.Fatal("missing WAL fsync sweep")
+	}
+	if wl.Points[0].Cfg.WALFsync != "" {
+		t.Fatalf("wal baseline point logs with %q, want no WAL", wl.Points[0].Cfg.WALFsync)
+	}
+	for _, p := range wl.Points[1:] {
+		if p.Cfg.WALFsync == "" {
+			t.Fatalf("wal point %s has no fsync policy", p.Label)
 		}
 	}
 	for _, id := range want {

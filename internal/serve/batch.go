@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"sort"
+
 	"roadknn"
+	"roadknn/internal/wal"
 )
 
 // Batcher coalesces a stream of incoming object/query/edge events into
@@ -33,6 +36,9 @@ type Batcher struct {
 	// applied state: what the engine has after the last Drain'd batch.
 	objApplied map[roadknn.ObjectID]roadknn.Position
 	qryApplied map[roadknn.QueryID]appliedQry
+	// edgeApplied tracks edge weights overridden from the network file
+	// since startup, so checkpoints can rebuild them.
+	edgeApplied map[roadknn.EdgeID]float64
 
 	// pending state for the current tick.
 	objPend  map[roadknn.ObjectID]pendingPos
@@ -66,11 +72,12 @@ type pendingQry struct {
 // NewBatcher returns an empty batcher.
 func NewBatcher() *Batcher {
 	return &Batcher{
-		objApplied: make(map[roadknn.ObjectID]roadknn.Position),
-		qryApplied: make(map[roadknn.QueryID]appliedQry),
-		objPend:    make(map[roadknn.ObjectID]pendingPos),
-		qryPend:    make(map[roadknn.QueryID]pendingQry),
-		edgePend:   make(map[roadknn.EdgeID]float64),
+		objApplied:  make(map[roadknn.ObjectID]roadknn.Position),
+		qryApplied:  make(map[roadknn.QueryID]appliedQry),
+		edgeApplied: make(map[roadknn.EdgeID]float64),
+		objPend:     make(map[roadknn.ObjectID]pendingPos),
+		qryPend:     make(map[roadknn.QueryID]pendingQry),
+		edgePend:    make(map[roadknn.EdgeID]float64),
 	}
 }
 
@@ -191,7 +198,16 @@ func (b *Batcher) PendingEdge(edge roadknn.EdgeID) bool { _, ok := b.edgePend[ed
 // Drain converts the pending reports into one Updates batch, advances the
 // applied state accordingly, and clears the pending state. The returned
 // batch is ready for Engine.Step.
-func (b *Batcher) Drain() roadknn.Updates {
+func (b *Batcher) Drain() roadknn.Updates { return b.build(true) }
+
+// Preview returns the batch the next Drain would produce without
+// advancing any state: pending reports stay pending and the applied maps
+// are untouched. The WAL path uses it to log the batch before committing
+// — if the append fails, nothing was consumed and the batch survives for
+// a retry (or a shutdown flush).
+func (b *Batcher) Preview() roadknn.Updates { return b.build(false) }
+
+func (b *Batcher) build(commit bool) roadknn.Updates {
 	var u roadknn.Updates
 	for _, id := range b.objOrder {
 		p := b.objPend[id]
@@ -199,17 +215,23 @@ func (b *Batcher) Drain() roadknn.Updates {
 		switch {
 		case p.del && existed:
 			u.Objects = append(u.Objects, roadknn.ObjectUpdate{ID: id, Old: old, Delete: true})
-			delete(b.objApplied, id)
+			if commit {
+				delete(b.objApplied, id)
+			}
 		case p.del:
 			// Inserted and deleted within one tick: nothing to apply.
 		case existed:
 			if old != p.pos {
 				u.Objects = append(u.Objects, roadknn.ObjectUpdate{ID: id, Old: old, New: p.pos})
-				b.objApplied[id] = p.pos
+				if commit {
+					b.objApplied[id] = p.pos
+				}
 			}
 		default:
 			u.Objects = append(u.Objects, roadknn.ObjectUpdate{ID: id, New: p.pos, Insert: true})
-			b.objApplied[id] = p.pos
+			if commit {
+				b.objApplied[id] = p.pos
+			}
 		}
 	}
 	for _, id := range b.qryOrder {
@@ -218,7 +240,9 @@ func (b *Batcher) Drain() roadknn.Updates {
 		switch {
 		case p.end && existed:
 			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, Delete: true})
-			delete(b.qryApplied, id)
+			if commit {
+				delete(b.qryApplied, id)
+			}
 		case p.end:
 			// Installed and terminated within one tick.
 		case existed && p.reinstall:
@@ -227,25 +251,85 @@ func (b *Batcher) Drain() roadknn.Updates {
 			// installations within a batch).
 			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, Delete: true})
 			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, New: p.pos, K: p.k, Insert: true})
-			b.qryApplied[id] = appliedQry{pos: p.pos, k: p.k}
+			if commit {
+				b.qryApplied[id] = appliedQry{pos: p.pos, k: p.k}
+			}
 		case existed:
 			if old.pos != p.pos {
 				u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, New: p.pos})
-				b.qryApplied[id] = appliedQry{pos: p.pos, k: old.k}
+				if commit {
+					b.qryApplied[id] = appliedQry{pos: p.pos, k: old.k}
+				}
 			}
 		default:
 			u.Queries = append(u.Queries, roadknn.QueryUpdate{ID: id, New: p.pos, K: p.k, Insert: true})
-			b.qryApplied[id] = appliedQry{pos: p.pos, k: p.k}
+			if commit {
+				b.qryApplied[id] = appliedQry{pos: p.pos, k: p.k}
+			}
 		}
 	}
 	for _, eid := range b.edgeOrd {
 		u.Edges = append(u.Edges, roadknn.EdgeUpdate{Edge: eid, NewW: b.edgePend[eid]})
+		if commit {
+			b.edgeApplied[eid] = b.edgePend[eid]
+		}
 	}
-	clear(b.objPend)
-	clear(b.qryPend)
-	clear(b.edgePend)
-	b.objOrder = b.objOrder[:0]
-	b.qryOrder = b.qryOrder[:0]
-	b.edgeOrd = b.edgeOrd[:0]
+	if commit {
+		clear(b.objPend)
+		clear(b.qryPend)
+		clear(b.edgePend)
+		b.objOrder = b.objOrder[:0]
+		b.qryOrder = b.qryOrder[:0]
+		b.edgeOrd = b.edgeOrd[:0]
+	}
 	return u
+}
+
+// Replay feeds one recovered Updates batch back in as reports, so the
+// next Drain reproduces exactly the batch that was logged: recovery runs
+// the same Batcher→Engine path a live tick does. The batcher must be in
+// the applied state the batch was drained from (the checkpoint state, or
+// the state after replaying the preceding batches).
+func (b *Batcher) Replay(u roadknn.Updates) {
+	for _, e := range u.Edges {
+		b.Edge(e.Edge, e.NewW)
+	}
+	for _, o := range u.Objects {
+		if o.Delete {
+			b.DeleteObject(o.ID)
+		} else {
+			b.Object(o.ID, o.New)
+		}
+	}
+	for _, q := range u.Queries {
+		if q.Delete {
+			b.EndQuery(q.ID)
+		} else {
+			b.Query(q.ID, q.K, q.New)
+		}
+	}
+}
+
+// CheckpointState returns the applied state — object positions,
+// registered queries, edge weight overrides — as sorted slices ready for
+// a wal.Checkpoint. Pending (undrained) reports are not included; the
+// caller checkpoints at a tick boundary where applied state and engine
+// state coincide.
+func (b *Batcher) CheckpointState() ([]wal.ObjectState, []wal.QueryState, []wal.EdgeState) {
+	objs := make([]wal.ObjectState, 0, len(b.objApplied))
+	for id, pos := range b.objApplied {
+		objs = append(objs, wal.ObjectState{ID: id, Pos: pos})
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+	qrys := make([]wal.QueryState, 0, len(b.qryApplied))
+	for id, q := range b.qryApplied {
+		qrys = append(qrys, wal.QueryState{ID: int32(id), K: int32(q.k), Pos: q.pos})
+	}
+	sort.Slice(qrys, func(i, j int) bool { return qrys[i].ID < qrys[j].ID })
+	edges := make([]wal.EdgeState, 0, len(b.edgeApplied))
+	for e, w := range b.edgeApplied {
+		edges = append(edges, wal.EdgeState{Edge: e, W: w})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Edge < edges[j].Edge })
+	return objs, qrys, edges
 }

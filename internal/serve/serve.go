@@ -20,8 +20,13 @@
 //	                   ?since=E long-polls until epoch > E (&wait_ms=N)
 //	GET  /v1/result    one query's result: ?query=ID (+since/wait_ms)
 //	GET  /v1/stream    server-sent events: one snapshot per new epoch
-//	GET  /v1/stats     runtime counters (epoch, steps, reads, timings)
-//	GET  /healthz      liveness probe
+//	GET  /v1/stats     runtime counters (epoch, steps, reads, timings, WAL)
+//	GET  /healthz      readiness probe: 503 while replaying the WAL or
+//	                   after a WAL failure degraded the server to
+//	                   read-only, 200 once serving normally
+//
+// With Config.WAL set, the server is crash-safe: see the wal package and
+// Server.Recover for the durability and recovery protocol.
 package serve
 
 import (
@@ -37,6 +42,8 @@ import (
 	"time"
 
 	"roadknn"
+	"roadknn/internal/core"
+	"roadknn/internal/wal"
 )
 
 // Config tunes a Server.
@@ -55,6 +62,18 @@ type Config struct {
 	// rejected whole with 429, bounding memory an untrusted client can
 	// pin with updates that are never ticked.
 	MaxPending int
+
+	// WAL, when set, makes the server durable: every drained batch is
+	// appended to the log before the engine steps, the pending batch is
+	// flushed at Close, and the server starts not-ready (every endpoint
+	// but /v1/stats answers 503) until Recover has replayed the log. If
+	// an append exhausts its retries the server degrades to read-only:
+	// writes answer 503, reads keep serving the last published snapshot.
+	WAL *wal.Log
+	// CheckpointEvery writes a checkpoint (and rotates the log) every N
+	// ticks (0 = never). Checkpoint failures are recorded in /v1/stats
+	// and retried at the next interval; logging continues either way.
+	CheckpointEvery int
 }
 
 // Server drives one engine and serves it over HTTP. Create with New,
@@ -86,6 +105,17 @@ type Server struct {
 	reads     atomic.Int64
 	stepNanos atomic.Int64
 
+	// Durability state. seq is the batch sequence cursor (== the engine's
+	// timestamp in serve mode), guarded by stepMu; the atomics are read by
+	// handlers without it.
+	seq        uint64
+	ready      atomic.Bool // false while WAL recovery has not finished
+	readOnly   atomic.Bool // true after an unrecoverable WAL write error
+	recoveryMS atomic.Int64
+	walErrMu   sync.Mutex
+	walErr     string // what moved the server to read-only
+	ckptErr    string // last checkpoint failure (retried next interval)
+
 	startOnce sync.Once
 	closeOnce sync.Once
 	stopc     chan struct{}
@@ -108,7 +138,7 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 1 << 20
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		numEdges: eng.Network().G.NumEdges(),
@@ -117,6 +147,29 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 		stopc:    make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	// Without a WAL there is nothing to recover: the server is born ready.
+	// With one, Recover must run first (even over an empty log) so clients
+	// never observe the pre-replay engine.
+	s.ready.Store(cfg.WAL == nil)
+	return s
+}
+
+// Ready reports whether the server has finished WAL recovery (always true
+// without a WAL).
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// ReadOnly reports whether a WAL write failure has degraded the server to
+// read-only serving.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// setReadOnly records the WAL failure and flips the server to read-only.
+func (s *Server) setReadOnly(err error) {
+	s.walErrMu.Lock()
+	if s.walErr == "" {
+		s.walErr = err.Error()
+	}
+	s.walErrMu.Unlock()
+	s.readOnly.Store(true)
 }
 
 // Engine returns the wrapped engine.
@@ -151,29 +204,129 @@ func (s *Server) Start() {
 // working off the last one. Call Close before shutting the HTTP listener
 // down gracefully, so parked waiters drain instead of holding the
 // shutdown open until their timeout.
+// With a WAL, Close also flushes any still-pending (undrained) updates as
+// a pending record — acknowledged ingestion survives a clean shutdown —
+// and closes the log.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.stopc) })
 	s.Start() // ensure done is closed even if Start was never called
 	<-s.done
 	s.stepMu.Lock() // wait out an in-flight tick before closing the pool
 	defer s.stepMu.Unlock()
+	if w := s.cfg.WAL; w != nil {
+		if s.ready.Load() && !s.readOnly.Load() {
+			s.batchMu.Lock()
+			u := s.batch.Preview()
+			s.batchMu.Unlock()
+			if len(u.Objects)+len(u.Queries)+len(u.Edges) > 0 {
+				if err := w.AppendPending(u); err != nil {
+					s.setReadOnly(err)
+				}
+			}
+		}
+		w.Close()
+	}
 	s.eng.Close()
 }
 
 // Tick drains the pending batch, applies it as one timestamp, and wakes
-// long-pollers. It returns the newly published snapshot.
+// long-pollers. It returns the newly published snapshot. With a WAL the
+// batch is logged before the engine steps: if the append fails (after its
+// internal retries) the batch stays pending, the engine does not advance
+// — its state still matches the log exactly — and the server degrades to
+// read-only. Before recovery finishes, and after a WAL failure, Tick is a
+// no-op returning the current snapshot.
 func (s *Server) Tick() *roadknn.Snapshot {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
+	if !s.ready.Load() || s.readOnly.Load() {
+		return s.eng.Snapshot()
+	}
 	s.batchMu.Lock()
-	u := s.batch.Drain()
+	var u roadknn.Updates
+	if w := s.cfg.WAL; w != nil {
+		// Log first, commit after: Preview leaves the batcher untouched, so
+		// a failed append loses nothing — the updates stay pending (and a
+		// clean shutdown still flushes them as a pending record). While the
+		// append retries with backoff, batchMu stays held: ingestion blocks
+		// behind the slow disk instead of growing an unbounded queue, and
+		// MaxPending caps what can pile up once it resumes.
+		u = s.batch.Preview()
+		if err := w.AppendBatch(s.seq+1, u); err != nil {
+			s.batchMu.Unlock()
+			s.setReadOnly(err)
+			return s.eng.Snapshot()
+		}
+		s.batch.Drain() // same batch, now committed
+	} else {
+		u = s.batch.Drain()
+	}
 	s.batchMu.Unlock()
+	s.seq++
 	start := time.Now()
 	s.eng.Step(u)
 	s.stepNanos.Add(time.Since(start).Nanoseconds())
 	s.steps.Add(1)
+	if w := s.cfg.WAL; w != nil {
+		snap := s.eng.Snapshot()
+		crc, _ := snap.CRC(nil)
+		if err := w.AppendTick(snap.Epoch(), snap.Timestamp(), crc); err != nil {
+			// The batch itself is durable; only the applied marker is lost.
+			// Recovery replays the batch without verification — correct,
+			// just unverified — but further writes must stop.
+			s.setReadOnly(err)
+		} else if s.cfg.CheckpointEvery > 0 && s.seq%uint64(s.cfg.CheckpointEvery) == 0 {
+			s.checkpointLocked()
+		}
+	}
 	s.wake()
 	return s.eng.Snapshot()
+}
+
+// checkpointLocked (stepMu held) writes a checkpoint at the current tick
+// boundary, where the batcher's applied state and the engine's state
+// coincide. The engine is first canonicalized with Rebuild: incremental
+// maintenance accumulates floats in history-dependent orders, so without
+// the rebuild a recovered replica (built from scratch at the checkpoint's
+// positions) could differ from the original in the last bits. After the
+// rebuild both continue from the same bit-exact base, which is what lets
+// recovery *verify* the rebuilt snapshot against the stored one. The extra
+// publication bumps the epoch by one at an unchanged timestamp (allowed:
+// epochs are per-publication, timestamps per-tick). Failures are recorded
+// for /v1/stats and retried at the next interval — the log keeps growing
+// meanwhile, so nothing is lost.
+func (s *Server) checkpointLocked() {
+	rb, ok := s.eng.(core.Rebuilder)
+	if !ok {
+		s.walErrMu.Lock()
+		s.ckptErr = "engine " + s.eng.Name() + " cannot rebuild for checkpointing"
+		s.walErrMu.Unlock()
+		return
+	}
+	rb.Rebuild()
+	snap := s.eng.Snapshot()
+	s.batchMu.Lock()
+	objs, qrys, edges := s.batch.CheckpointState()
+	s.batchMu.Unlock()
+	c := &wal.Checkpoint{
+		Epoch:    snap.Epoch(),
+		Stamp:    s.seq,
+		Objects:  objs,
+		Queries:  qrys,
+		Edges:    edges,
+		Snapshot: snap.AppendBinary(nil),
+	}
+	err := s.cfg.WAL.WriteCheckpoint(c)
+	s.walErrMu.Lock()
+	if err != nil {
+		s.ckptErr = err.Error()
+	} else {
+		s.ckptErr = ""
+	}
+	s.walErrMu.Unlock()
+	if err != nil && s.cfg.WAL.Err() != nil {
+		s.setReadOnly(s.cfg.WAL.Err())
+	}
 }
 
 // wake releases everyone waiting for a new epoch.
@@ -289,16 +442,59 @@ func resultToJSON(id roadknn.QueryID, res []roadknn.Neighbor) queryResultJSON {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
-	mux.HandleFunc("POST /v1/tick", s.handleTick)
-	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /v1/result", s.handleResult)
-	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/updates", s.whenReady(s.requireWritable(s.handleUpdates)))
+	mux.HandleFunc("POST /v1/tick", s.whenReady(s.requireWritable(s.handleTick)))
+	mux.HandleFunc("GET /v1/snapshot", s.whenReady(s.handleSnapshot))
+	mux.HandleFunc("GET /v1/result", s.whenReady(s.handleResult))
+	mux.HandleFunc("GET /v1/stream", s.whenReady(s.handleStream))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// whenReady rejects requests with 503 until WAL recovery has finished:
+// the pre-replay engine holds intermediate states no client should see.
+func (s *Server) whenReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "recovering from write-ahead log", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// requireWritable rejects writes with 503 once a WAL failure has degraded
+// the server to read-only.
+func (s *Server) requireWritable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.readOnly.Load() {
+			s.walErrMu.Lock()
+			cause := s.walErr
+			s.walErrMu.Unlock()
+			http.Error(w, "read-only: write-ahead log failed: "+cause, http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleHealthz reports readiness as JSON: 503/"recovering" until WAL
+// replay finishes, 503/"read-only" after a WAL failure (an orchestrator
+// restart re-runs recovery, which is the only way back to writable), else
+// 200/"ok".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	switch {
+	case !s.ready.Load():
+		status, code = "recovering", http.StatusServiceUnavailable
+	case s.readOnly.Load():
+		status, code = "read-only", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q}\n", status)
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
@@ -584,7 +780,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if steps > 0 {
 		avgMs = float64(s.stepNanos.Load()) / float64(steps) / 1e6
 	}
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"engine":      s.eng.Name(),
 		"epoch":       snap.Epoch(),
 		"timestamp":   snap.Timestamp(),
@@ -593,7 +789,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"avg_step_ms": avgMs,
 		"ingested":    s.ingested.Load(),
 		"reads":       s.reads.Load(),
-	})
+	}
+	if w2 := s.cfg.WAL; w2 != nil {
+		s.batchMu.Lock()
+		pending := s.batch.Pending()
+		s.batchMu.Unlock()
+		s.walErrMu.Lock()
+		walErr, ckptErr := s.walErr, s.ckptErr
+		s.walErrMu.Unlock()
+		out["wal"] = map[string]any{
+			"last_seq":         w2.LastSeq(),
+			"checkpoint_epoch": w2.CheckpointEpoch(),
+			"checkpoint_stamp": w2.CheckpointStamp(),
+			"lag":              w2.LastSeq() - w2.CheckpointStamp(),
+			"pending":          pending,
+			"recovering":       !s.ready.Load(),
+			"recovery_ms":      s.recoveryMS.Load(),
+			"read_only":        s.readOnly.Load(),
+			"error":            walErr,
+			"checkpoint_error": ckptErr,
+		}
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

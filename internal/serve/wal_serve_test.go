@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"roadknn"
+	"roadknn/internal/wal"
+)
+
+// newWALServer builds a manual-tick durable server over the given FS.
+func newWALServer(t *testing.T, fs wal.FS, checkpointEvery int) (*Server, *wal.Log, *wal.Recovery) {
+	t.Helper()
+	net := roadknn.GenerateNetwork(150, 3)
+	eng := roadknn.NewIMAWith(net, roadknn.Options{Workers: 1, Serving: true})
+	l, rec, err := wal.Open(fs, wal.Options{Retries: 2, Sleep: func(time.Duration) {}})
+	if err != nil {
+		eng.Close()
+		t.Fatalf("wal open: %v", err)
+	}
+	s := New(eng, Config{WAL: l, CheckpointEvery: checkpointEvery})
+	return s, l, rec
+}
+
+// ingest feeds reports straight into the server's batcher, as the HTTP
+// handler would after validation.
+func ingest(s *Server, fn func(b *Batcher)) {
+	s.batchMu.Lock()
+	fn(s.batch)
+	s.batchMu.Unlock()
+}
+
+// scriptTick applies the deterministic workload for tick t: inserts,
+// moves, deletes, query churn (including an end+reinstall) and edge
+// weight changes, all pure functions of t.
+func scriptTick(s *Server, t int) {
+	ingest(s, func(b *Batcher) {
+		id := roadknn.ObjectID(t % 6)
+		b.Object(id, roadknn.Position{Edge: roadknn.EdgeID((t * 13) % 100), Frac: float64(t%9) / 9})
+		b.Object(roadknn.ObjectID(100+t), roadknn.Position{Edge: roadknn.EdgeID((t * 7) % 100), Frac: 0.5})
+		if t%3 == 0 && t > 3 {
+			b.DeleteObject(roadknn.ObjectID(100 + t - 3))
+		}
+		if t == 1 {
+			b.Query(1, 3, roadknn.Position{Edge: 5, Frac: 0.25})
+			b.Query(2, 2, roadknn.Position{Edge: 40, Frac: 0.75})
+		}
+		if t == 4 { // end + reinstall with a new k within one tick
+			b.EndQuery(1)
+			b.Query(1, 4, roadknn.Position{Edge: 9, Frac: 0.1})
+		}
+		if t%2 == 0 {
+			b.Query(2, 0, roadknn.Position{Edge: roadknn.EdgeID((t * 11) % 100), Frac: 0.3})
+		}
+		if t%4 == 1 {
+			b.Edge(roadknn.EdgeID(t%30), 1.5+float64(t)/10)
+		}
+	})
+	s.Tick()
+}
+
+func snapBytes(s *Server) []byte { return s.eng.Snapshot().AppendBinary(nil) }
+
+func TestServeWALRoundTrip(t *testing.T) {
+	mem := wal.NewMemFS()
+	s, _, rec := newWALServer(t, mem, 4)
+	if _, err := s.Recover(rec); err != nil {
+		t.Fatalf("recover empty: %v", err)
+	}
+	const ticks = 10
+	for i := 1; i <= ticks; i++ {
+		scriptTick(s, i)
+	}
+	want := snapBytes(s)
+	s.Close()
+
+	s2, _, rec2 := newWALServer(t, mem, 4)
+	defer s2.Close()
+	st, err := s2.Recover(rec2)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if st.CheckpointStamp != 8 {
+		t.Fatalf("recovered from checkpoint stamp %d, want 8", st.CheckpointStamp)
+	}
+	if st.ReplayedBatches != 2 {
+		t.Fatalf("replayed %d batches, want 2", st.ReplayedBatches)
+	}
+	if st.VerifiedTicks != 2 {
+		t.Fatalf("verified %d ticks, want 2", st.VerifiedTicks)
+	}
+	if got := snapBytes(s2); !bytes.Equal(got, want) {
+		t.Fatal("recovered snapshot differs from the pre-crash one")
+	}
+	// The recovered server keeps serving: one more scripted tick must work.
+	scriptTick(s2, ticks+1)
+	if s2.eng.Snapshot().Timestamp() != ticks+1 {
+		t.Fatalf("post-recovery tick at stamp %d, want %d", s2.eng.Snapshot().Timestamp(), ticks+1)
+	}
+}
+
+func TestServeCloseFlushesPending(t *testing.T) {
+	mem := wal.NewMemFS()
+	s, _, rec := newWALServer(t, mem, 0)
+	if _, err := s.Recover(rec); err != nil {
+		t.Fatal(err)
+	}
+	scriptTick(s, 1)
+	scriptTick(s, 2)
+	// Ingest without ticking, then shut down: the updates must survive.
+	ingest(s, func(b *Batcher) {
+		b.Object(77, roadknn.Position{Edge: 3, Frac: 0.5})
+		b.Query(9, 2, roadknn.Position{Edge: 3, Frac: 0.4})
+	})
+	s.Close()
+
+	s2, _, rec2 := newWALServer(t, mem, 0)
+	defer s2.Close()
+	st, err := s2.Recover(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.PendingReplayed {
+		t.Fatal("pending batch not replayed")
+	}
+	// The flushed updates are pending, not applied — exactly like before
+	// the shutdown. The next tick applies them.
+	if _, ok := s2.eng.Snapshot().Lookup(9); ok {
+		t.Fatal("pending query applied before any tick")
+	}
+	snap := s2.Tick()
+	if res, ok := snap.Lookup(9); !ok || len(res) == 0 {
+		t.Fatalf("flushed pending query lost: ok=%v res=%v", ok, res)
+	}
+}
+
+func TestServeWALFailureReadOnly(t *testing.T) {
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
+	s, _, rec := newWALServer(t, ffs, 0)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Close()
+	if _, err := s.Recover(rec); err != nil {
+		t.Fatal(err)
+	}
+	scriptTick(s, 1)
+	want := snapBytes(s)
+
+	// Exhaust the retry budget: the server must degrade, not lose state.
+	ffs.FailNextWrites(100)
+	ingest(s, func(b *Batcher) { b.Object(50, roadknn.Position{Edge: 1, Frac: 0.5}) })
+	s.Tick()
+	if !s.ReadOnly() {
+		t.Fatal("server not read-only after WAL failure")
+	}
+	if got := snapBytes(s); !bytes.Equal(got, want) {
+		t.Fatal("engine advanced past the last logged batch")
+	}
+
+	// Writes answer 503, reads keep working, healthz says read-only.
+	if code, _ := get(t, hs.URL+"/v1/snapshot"); code != 200 {
+		t.Fatalf("read during read-only: %d", code)
+	}
+	code, body := rawPost(t, hs.URL+"/v1/tick", "")
+	if code != 503 || !strings.Contains(body, "read-only") {
+		t.Fatalf("tick during read-only: %d %q", code, body)
+	}
+	code, body = rawPost(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":0,"frac":0.5}]}`)
+	if code != 503 {
+		t.Fatalf("updates during read-only: %d %q", code, body)
+	}
+	if code, _ := get(t, hs.URL+"/healthz"); code != 503 {
+		t.Fatalf("healthz during read-only: %d", code)
+	}
+	if _, stats := get(t, hs.URL+"/v1/stats"); stats["wal"].(map[string]any)["read_only"] != true {
+		t.Fatalf("stats do not report read_only: %v", stats["wal"])
+	}
+}
+
+func rawPost(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+func TestServeHealthzRecoveryTransition(t *testing.T) {
+	mem := wal.NewMemFS()
+	s1, _, rec1 := newWALServer(t, mem, 0)
+	if _, err := s1.Recover(rec1); err != nil {
+		t.Fatal(err)
+	}
+	scriptTick(s1, 1)
+	s1.Close()
+
+	s2, _, rec2 := newWALServer(t, mem, 0)
+	hs := httptest.NewServer(s2.Handler())
+	defer hs.Close()
+	defer s2.Close()
+
+	// Before Recover: not ready. healthz and every data endpoint say 503.
+	code, _ := get(t, hs.URL+"/healthz")
+	if code != 503 {
+		t.Fatalf("healthz before recovery: %d, want 503", code)
+	}
+	if code, _ := get(t, hs.URL+"/v1/snapshot"); code != 503 {
+		t.Fatalf("snapshot before recovery: %d, want 503", code)
+	}
+	if code, _ := rawPost(t, hs.URL+"/v1/tick", ""); code != 503 {
+		t.Fatalf("tick before recovery: %d, want 503", code)
+	}
+
+	if _, err := s2.Recover(rec2); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, hs.URL+"/healthz")
+	if code != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz after recovery: %d %v", code, body)
+	}
+	if code, _ := get(t, hs.URL+"/v1/snapshot"); code != 200 {
+		t.Fatalf("snapshot after recovery: %d", code)
+	}
+}
+
+func TestServeRecoverRejectsWrongNetwork(t *testing.T) {
+	mem := wal.NewMemFS()
+	s1, _, rec1 := newWALServer(t, mem, 2)
+	if _, err := s1.Recover(rec1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		scriptTick(s1, i)
+	}
+	s1.Close()
+
+	// Same log, different network: replay must detect the divergence
+	// instead of silently serving wrong results.
+	eng := roadknn.NewIMAWith(roadknn.GenerateNetwork(150, 99), roadknn.Options{Workers: 1, Serving: true})
+	l, rec2, err := wal.Open(mem, wal.Options{})
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	s2 := New(eng, Config{WAL: l})
+	defer s2.Close()
+	if _, err := s2.Recover(rec2); err == nil {
+		t.Fatal("recovery against the wrong network succeeded")
+	} else if !strings.Contains(err.Error(), "network file") {
+		t.Fatalf("unexpected recovery error: %v", err)
+	}
+	if s2.Ready() {
+		t.Fatal("server became ready despite failed recovery")
+	}
+}
+
+// TestServeCrashRecoveryDeterministicAtEveryBoundary is the fault-
+// injection property test: a deterministic 10-tick workload is crashed at
+// every WAL write boundary (with varying torn-byte counts), recovered,
+// verified bit-identical to the uncrashed replica at the recovered stamp,
+// resumed to the end of the script, and verified bit-identical again.
+func TestServeCrashRecoveryDeterministicAtEveryBoundary(t *testing.T) {
+	const ticks = 10
+	// Reference run: record the snapshot bytes after every tick.
+	refMem := wal.NewMemFS()
+	refFFS := wal.NewFaultFS(refMem)
+	ref, _, refRec := newWALServer(t, refFFS, 3)
+	if _, err := ref.Recover(refRec); err != nil {
+		t.Fatal(err)
+	}
+	refSnaps := make([][]byte, ticks+1)
+	refSnaps[0] = snapBytes(ref)
+	for i := 1; i <= ticks; i++ {
+		scriptTick(ref, i)
+		refSnaps[i] = snapBytes(ref)
+	}
+	totalWrites := refFFS.Writes()
+	ref.Close()
+	if totalWrites < 2*ticks {
+		t.Fatalf("implausible write count %d", totalWrites)
+	}
+
+	for n := 0; n < totalWrites; n++ {
+		n := n
+		t.Run(fmt.Sprintf("crash-at-write-%d", n), func(t *testing.T) {
+			mem := wal.NewMemFS()
+			ffs := wal.NewFaultFS(mem)
+			ffs.CrashAfterWrites(n, n%7) // vary the torn-byte count
+			eng1 := roadknn.NewIMAWith(roadknn.GenerateNetwork(150, 3), roadknn.Options{Workers: 1, Serving: true})
+			if l1, rec1, err := wal.Open(ffs, wal.Options{Retries: 2, Sleep: func(time.Duration) {}}); err == nil {
+				s := New(eng1, Config{WAL: l1, CheckpointEvery: 3})
+				if _, err := s.Recover(rec1); err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i <= ticks; i++ {
+					scriptTick(s, i) // ticks after the crash no-op (read-only)
+				}
+				s.Close()
+			} else {
+				// The crash hit the very first write (the segment header in
+				// Open): nothing was ever served, recovery starts from zero.
+				eng1.Close()
+			}
+			if !ffs.Crashed() {
+				t.Fatalf("crash at write %d never fired", n)
+			}
+
+			// Recover from the torn disk image and check bit-identity with
+			// the reference at the recovered stamp.
+			l, rec2, err := wal.Open(mem, wal.Options{})
+			if err != nil {
+				t.Fatalf("open after crash: %v", err)
+			}
+			eng := roadknn.NewIMAWith(roadknn.GenerateNetwork(150, 3), roadknn.Options{Workers: 1, Serving: true})
+			s2 := New(eng, Config{WAL: l, CheckpointEvery: 3})
+			defer s2.Close()
+			st, err := s2.Recover(rec2)
+			if err != nil {
+				t.Fatalf("recover after crash at write %d: %v", n, err)
+			}
+			stamp := int(rec2.LastSeq())
+			if stamp > ticks {
+				t.Fatalf("recovered stamp %d past the script", stamp)
+			}
+			if got := snapBytes(s2); !bytes.Equal(got, refSnaps[stamp]) {
+				t.Fatalf("recovered snapshot at stamp %d differs from the uncrashed replica (replayed %d batches)",
+					stamp, st.ReplayedBatches)
+			}
+			// Resume the script where the log left off; the end state must
+			// match the replica that never crashed.
+			for i := stamp + 1; i <= ticks; i++ {
+				scriptTick(s2, i)
+			}
+			if got := snapBytes(s2); !bytes.Equal(got, refSnaps[ticks]) {
+				t.Fatalf("resumed run diverged from the uncrashed replica after crash at write %d", n)
+			}
+		})
+	}
+}

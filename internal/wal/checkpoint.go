@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// A Checkpoint is everything needed to rebuild the engine without the log:
+// the batcher's applied state (object positions, registered queries, edge
+// weight overrides) as of one fully applied tick, plus the engine's
+// serialized result snapshot at that tick for verification — recovery
+// rebuilds from the inputs and checks it arrived at the same published
+// bytes.
+type Checkpoint struct {
+	Epoch uint64 // snapshot epoch at checkpoint time
+	Stamp uint64 // timestamp (== batch sequence of the last applied batch)
+
+	Objects []ObjectState
+	Queries []QueryState
+	Edges   []EdgeState
+
+	// Snapshot is the engine's result snapshot in core's canonical binary
+	// encoding, used to verify the rebuilt engine bit-for-bit.
+	Snapshot []byte
+}
+
+// ObjectState is one monitored object's applied position.
+type ObjectState struct {
+	ID  roadnet.ObjectID
+	Pos roadnet.Position
+}
+
+// QueryState is one registered query's applied position and k.
+type QueryState struct {
+	ID  int32
+	K   int32
+	Pos roadnet.Position
+}
+
+// EdgeState is one edge whose weight was overridden from the network file.
+type EdgeState struct {
+	Edge graph.EdgeID
+	W    float64
+}
+
+const (
+	ckptMagic   = "RKCP"
+	ckptVersion = 1
+)
+
+// encodeCheckpoint serializes c as one self-verifying file image.
+func encodeCheckpoint(c *Checkpoint) []byte {
+	body := make([]byte, 0, 64+len(c.Snapshot))
+	body = appendU64(body, c.Epoch)
+	body = appendU64(body, c.Stamp)
+	body = appendU32(body, uint32(len(c.Objects)))
+	for _, o := range c.Objects {
+		body = appendI32(body, int32(o.ID))
+		body = appendI32(body, int32(o.Pos.Edge))
+		body = appendF64(body, o.Pos.Frac)
+	}
+	body = appendU32(body, uint32(len(c.Queries)))
+	for _, q := range c.Queries {
+		body = appendI32(body, q.ID)
+		body = appendI32(body, q.K)
+		body = appendI32(body, int32(q.Pos.Edge))
+		body = appendF64(body, q.Pos.Frac)
+	}
+	body = appendU32(body, uint32(len(c.Edges)))
+	for _, e := range c.Edges {
+		body = appendI32(body, int32(e.Edge))
+		body = appendF64(body, e.W)
+	}
+	body = appendU32(body, uint32(len(c.Snapshot)))
+	body = append(body, c.Snapshot...)
+
+	out := make([]byte, 0, 16+len(body))
+	out = append(out, ckptMagic...)
+	out = appendU32(out, ckptVersion)
+	out = appendU32(out, uint32(len(body)))
+	out = appendU32(out, crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+// decodeCheckpoint parses and verifies a checkpoint file image.
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("wal: checkpoint too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != ckptMagic {
+		return nil, fmt.Errorf("wal: bad checkpoint magic %q", data[:4])
+	}
+	hd := &decoder{buf: data, off: 4}
+	ver := hd.u32()
+	if ver != ckptVersion {
+		return nil, fmt.Errorf("wal: unsupported checkpoint version %d", ver)
+	}
+	blen := int(hd.u32())
+	crc := hd.u32()
+	if blen < 0 || blen > maxRecordLen || 16+blen != len(data) {
+		return nil, fmt.Errorf("wal: checkpoint body length %d does not match file size %d", blen, len(data))
+	}
+	body := data[16:]
+	if got := crc32.Checksum(body, crcTable); got != crc {
+		return nil, fmt.Errorf("wal: checkpoint crc mismatch (got %08x want %08x)", got, crc)
+	}
+
+	d := &decoder{buf: body}
+	c := &Checkpoint{Epoch: d.u64(), Stamp: d.u64()}
+	if n := d.count(16); n > 0 && d.err == nil {
+		c.Objects = make([]ObjectState, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			var o ObjectState
+			o.ID = roadnet.ObjectID(d.i32())
+			o.Pos.Edge = graph.EdgeID(d.i32())
+			o.Pos.Frac = d.f64()
+			c.Objects = append(c.Objects, o)
+		}
+	}
+	if n := d.count(20); n > 0 && d.err == nil {
+		c.Queries = make([]QueryState, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			var q QueryState
+			q.ID = d.i32()
+			q.K = d.i32()
+			q.Pos.Edge = graph.EdgeID(d.i32())
+			q.Pos.Frac = d.f64()
+			c.Queries = append(c.Queries, q)
+		}
+	}
+	if n := d.count(12); n > 0 && d.err == nil {
+		c.Edges = make([]EdgeState, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			var e EdgeState
+			e.Edge = graph.EdgeID(d.i32())
+			e.W = d.f64()
+			c.Edges = append(c.Edges, e)
+		}
+	}
+	if slen := d.count(1); d.err == nil {
+		if d.need(slen) {
+			c.Snapshot = append([]byte(nil), d.buf[d.off:d.off+slen]...)
+			d.off += slen
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint body: %w", err)
+	}
+	return c, nil
+}
+
+// readCheckpoint loads and verifies the named checkpoint file.
+func readCheckpoint(fs FS, name string) (*Checkpoint, error) {
+	r, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(data)
+}

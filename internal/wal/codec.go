@@ -1,0 +1,258 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"roadknn/internal/core"
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// On-disk format. A segment starts with a 8-byte header:
+//
+//	"RKWL" | u32 version
+//
+// followed by records, each framed as
+//
+//	u32 len(payload) | u32 crc32(payload) | payload
+//
+// with payload[0] the record type. One frame is written with a single
+// Write call, so a crash tears at most the last record — which the CRC
+// (or a short frame) detects, and recovery truncates. All integers are
+// little-endian.
+const (
+	segMagic   = "RKWL"
+	segVersion = 1
+	headerLen  = 8
+	frameLen   = 8 // u32 len + u32 crc
+
+	// maxRecordLen bounds a single record so a corrupt length field cannot
+	// make recovery attempt a multi-gigabyte allocation.
+	maxRecordLen = 1 << 28
+)
+
+// Record types.
+const (
+	recBatch   = 1 // u64 seq | updates — one drained per-tick batch
+	recTick    = 2 // u64 epoch | u64 stamp | u32 snapCRC — post-step marker
+	recPending = 3 // updates — undrained batch flushed at shutdown
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI32(b []byte, v int32) []byte  { return binary.LittleEndian.AppendUint32(b, uint32(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// frame wraps payload in the u32 len | u32 crc frame.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, frameLen+len(payload))
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+func segmentHeader() []byte {
+	b := append([]byte(nil), segMagic...)
+	return appendU32(b, segVersion)
+}
+
+// Update-flag bits shared by object and query entries.
+const (
+	flagInsert = 1
+	flagDelete = 2
+)
+
+// appendUpdates serializes a core.Updates batch.
+func appendUpdates(b []byte, u core.Updates) []byte {
+	b = appendU32(b, uint32(len(u.Objects)))
+	for _, o := range u.Objects {
+		b = appendI32(b, int32(o.ID))
+		var fl byte
+		if o.Insert {
+			fl |= flagInsert
+		}
+		if o.Delete {
+			fl |= flagDelete
+		}
+		b = append(b, fl)
+		b = appendI32(b, int32(o.Old.Edge))
+		b = appendF64(b, o.Old.Frac)
+		b = appendI32(b, int32(o.New.Edge))
+		b = appendF64(b, o.New.Frac)
+	}
+	b = appendU32(b, uint32(len(u.Queries)))
+	for _, q := range u.Queries {
+		b = appendI32(b, int32(q.ID))
+		var fl byte
+		if q.Insert {
+			fl |= flagInsert
+		}
+		if q.Delete {
+			fl |= flagDelete
+		}
+		b = append(b, fl)
+		b = appendI32(b, int32(q.K))
+		b = appendI32(b, int32(q.New.Edge))
+		b = appendF64(b, q.New.Frac)
+	}
+	b = appendU32(b, uint32(len(u.Edges)))
+	for _, e := range u.Edges {
+		b = appendI32(b, int32(e.Edge))
+		b = appendF64(b, e.NewW)
+	}
+	return b
+}
+
+// decoder is a bounds-checked cursor over one record payload.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("wal: record truncated at offset %d (need %d of %d)", d.off, n, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) byte() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// count reads a u32 element count and sanity-bounds it against the bytes
+// remaining, given the minimum encoded size of one element.
+func (d *decoder) count(minElem int) int {
+	n := int(d.u32())
+	if d.err == nil && n*minElem > len(d.buf)-d.off {
+		d.fail("wal: implausible element count %d at offset %d", n, d.off)
+	}
+	return n
+}
+
+func (d *decoder) updates() core.Updates {
+	var u core.Updates
+	if n := d.count(29); n > 0 && d.err == nil {
+		u.Objects = make([]core.ObjectUpdate, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			var o core.ObjectUpdate
+			o.ID = roadnet.ObjectID(d.i32())
+			fl := d.byte()
+			o.Insert = fl&flagInsert != 0
+			o.Delete = fl&flagDelete != 0
+			o.Old.Edge = graph.EdgeID(d.i32())
+			o.Old.Frac = d.f64()
+			o.New.Edge = graph.EdgeID(d.i32())
+			o.New.Frac = d.f64()
+			u.Objects = append(u.Objects, o)
+		}
+	}
+	if n := d.count(21); n > 0 && d.err == nil {
+		u.Queries = make([]core.QueryUpdate, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			var q core.QueryUpdate
+			q.ID = core.QueryID(d.i32())
+			fl := d.byte()
+			q.Insert = fl&flagInsert != 0
+			q.Delete = fl&flagDelete != 0
+			q.K = int(d.i32())
+			q.New.Edge = graph.EdgeID(d.i32())
+			q.New.Frac = d.f64()
+			u.Queries = append(u.Queries, q)
+		}
+	}
+	if n := d.count(12); n > 0 && d.err == nil {
+		u.Edges = make([]core.EdgeUpdate, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			var e core.EdgeUpdate
+			e.Edge = graph.EdgeID(d.i32())
+			e.NewW = d.f64()
+			u.Edges = append(u.Edges, e)
+		}
+	}
+	return u
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wal: %d trailing bytes in record", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// encodeBatch builds a framed recBatch record.
+func encodeBatch(seq uint64, u core.Updates) []byte {
+	p := make([]byte, 0, 64)
+	p = append(p, recBatch)
+	p = appendU64(p, seq)
+	p = appendUpdates(p, u)
+	return frame(p)
+}
+
+// encodeTick builds a framed recTick record. snapCRC == 0 means
+// "skip verification" (crc32 can legitimately be 0, but treating that one
+// value as unverified only weakens one in 2^32 ticks).
+func encodeTick(epoch, stamp uint64, snapCRC uint32) []byte {
+	p := make([]byte, 0, 24)
+	p = append(p, recTick)
+	p = appendU64(p, epoch)
+	p = appendU64(p, stamp)
+	p = appendU32(p, snapCRC)
+	return frame(p)
+}
+
+// encodePending builds a framed recPending record.
+func encodePending(u core.Updates) []byte {
+	p := make([]byte, 0, 64)
+	p = append(p, recPending)
+	p = appendUpdates(p, u)
+	return frame(p)
+}

@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models fsync durability: every file tracks
+// the durable prefix established by Sync (and by SyncDir for namespace
+// operations), so tests can simulate a power-cut — CrashClone(true)
+// returns a new MemFS holding only what an fsync-honoring disk would still
+// have — as well as a plain kill -9, where the page cache survives
+// (CrashClone(false)). Safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	// pendingOps holds namespace changes (create/rename/remove) not yet
+	// pinned by SyncDir; on a durable crash clone, un-synced creations
+	// vanish and un-synced removals resurrect nothing (removal loses data
+	// either way — matching a real directory, renames of synced files are
+	// kept conservatively).
+	unsyncedNames map[string]bool
+}
+
+type memFile struct {
+	data    []byte
+	durable int // bytes guaranteed to survive a power cut
+}
+
+// NewMemFS returns an empty in-memory FS.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, unsyncedNames: map[string]bool{}}
+}
+
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("memfs: write to removed file %q", h.name)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if f, ok := h.fs.files[h.name]; ok {
+		f.durable = len(f.data)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{}
+	m.unsyncedNames[name] = true
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// Append implements FS.
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+		m.unsyncedNames[name] = true
+	}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %q: no such file", name)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %q: no such file", name)
+	}
+	delete(m.files, name)
+	delete(m.unsyncedNames, name)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("memfs: rename %q: no such file", oldName)
+	}
+	delete(m.files, oldName)
+	m.files[newName] = f
+	if m.unsyncedNames[oldName] {
+		delete(m.unsyncedNames, oldName)
+		m.unsyncedNames[newName] = true
+	} else {
+		m.unsyncedNames[newName] = true
+	}
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %q: no such file", name)
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.durable > len(f.data) {
+		f.durable = len(f.data)
+	}
+	return nil
+}
+
+// SyncDir implements FS: it pins the current namespace durably.
+func (m *MemFS) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clear(m.unsyncedNames)
+	return nil
+}
+
+// CrashClone returns an independent copy of the store as a crashed machine
+// would find it. With durableOnly, only fsync'd bytes survive — files are
+// cut at their durable prefix and files whose directory entry was never
+// SyncDir'd vanish — modeling a power cut; without it, everything written
+// survives, modeling a plain kill -9 (the OS page cache outlives the
+// process).
+func (m *MemFS) CrashClone(durableOnly bool) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, f := range m.files {
+		if durableOnly {
+			if m.unsyncedNames[name] {
+				continue
+			}
+			c.files[name] = &memFile{data: append([]byte(nil), f.data[:f.durable]...), durable: f.durable}
+		} else {
+			c.files[name] = &memFile{data: append([]byte(nil), f.data...), durable: len(f.data)}
+		}
+	}
+	return c
+}
+
+// Bytes returns a copy of the named file's current content (test helper).
+func (m *MemFS) Bytes(name string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return append([]byte(nil), f.data...)
+	}
+	return nil
+}
+
+// Corrupt flips one byte at off in the named file (test helper).
+func (m *MemFS) Corrupt(name string, off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off >= len(f.data) {
+		return fmt.Errorf("memfs: corrupt %q at %d: out of range", name, off)
+	}
+	f.data[off] ^= 0xff
+	return nil
+}

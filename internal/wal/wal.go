@@ -1,0 +1,427 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"roadknn/internal/core"
+)
+
+// SyncPolicy controls when appends are fsync'd.
+type SyncPolicy int
+
+const (
+	// SyncTick fsyncs at tick boundaries, pending flushes and checkpoints:
+	// a crash loses at most the in-flight tick (default).
+	SyncTick SyncPolicy = iota
+	// SyncAlways fsyncs every record: no acknowledged batch is ever lost.
+	SyncAlways
+	// SyncNever leaves flushing to the OS: fastest, survives process
+	// crashes (page cache persists) but not power cuts.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "tick", "":
+		return SyncTick, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, tick or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "tick"
+	}
+}
+
+// Options tunes a Log. The zero value is usable.
+type Options struct {
+	// Sync is the fsync policy (default SyncTick).
+	Sync SyncPolicy
+	// Retries is how many times a failed append is retried with capped
+	// exponential backoff before the log declares itself failed
+	// (default 4).
+	Retries int
+	// RetryBase is the first backoff delay (default 5ms); it doubles per
+	// attempt up to RetryMax (default 250ms).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// KeepCheckpoints is how many checkpoints (and the segments they need)
+	// survive pruning (default 2).
+	KeepCheckpoints int
+	// Sleep is a test seam for the backoff delay (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retries == 0 {
+		o.Retries = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 2
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Log is an append-only write-ahead log over an FS. Methods are safe for
+// concurrent use, though the serving layer serializes appends under its
+// own step lock anyway. After any unrecoverable write error the log is
+// failed: Err returns the cause and every append refuses with it.
+type Log struct {
+	fs   FS
+	opts Options
+
+	mu      sync.Mutex
+	cur     File
+	curName string
+	curSize int64
+	lastSeq uint64
+	ckEpoch uint64
+	ckStamp uint64
+	err     error
+}
+
+func segmentName(startSeq uint64) string { return fmt.Sprintf("wal-%016d.log", startSeq) }
+
+func checkpointName(stamp uint64) string { return fmt.Sprintf("ckpt-%016d.ckpt", stamp) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	return n, err == nil
+}
+
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt"), 10, 64)
+	return n, err == nil
+}
+
+// OpenDir opens (or initializes) a log in the given directory.
+func OpenDir(dir string, opts Options) (*Log, *Recovery, error) {
+	fs, err := DirFS(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Open(fs, opts)
+}
+
+// Open scans the store, recovering the checkpoint and replayable tail
+// (see Recovery), truncates any torn or corrupt log suffix, and returns a
+// log positioned to append the next batch. A sequence gap between the
+// checkpoint and the log — or inside the log — is a hard error: it means
+// the directory mixes files from different runs and replay would be wrong.
+func Open(fs FS, opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	rec, lastSegStart, err := scanStore(fs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{fs: fs, opts: opts, lastSeq: rec.lastSeq}
+	if rec.Checkpoint != nil {
+		l.ckEpoch = rec.Checkpoint.Epoch
+		l.ckStamp = rec.Checkpoint.Stamp
+	}
+
+	if lastSegStart == 0 {
+		// Fresh store (or everything pruned): start a segment at the next
+		// sequence number.
+		if err := l.startSegment(l.lastSeq + 1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		name := segmentName(lastSegStart)
+		f, err := fs.Append(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.cur, l.curName, l.curSize = f, name, rec.lastSegSize
+	}
+	return l, rec, nil
+}
+
+// startSegment creates a fresh segment (with header) and makes it current.
+func (l *Log) startSegment(startSeq uint64) error {
+	name := segmentName(startSeq)
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	hdr := segmentHeader()
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if l.opts.Sync != SyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := l.fs.SyncDir(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if l.cur != nil {
+		l.cur.Close()
+	}
+	l.cur, l.curName, l.curSize = f, name, int64(len(hdr))
+	return nil
+}
+
+// append writes one framed record, retrying transient write errors with
+// capped exponential backoff (truncating the partial tail first so a torn
+// retry cannot interleave). A Sync failure is immediately fatal — after a
+// failed fsync the kernel may have dropped the dirty pages, so retrying
+// would acknowledge data that never reaches disk.
+func (l *Log) append(rec []byte, syncNow bool) error {
+	if l.err != nil {
+		return l.err
+	}
+	pre := l.curSize
+	delay := l.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		n, werr := l.cur.Write(rec)
+		if werr == nil && n == len(rec) {
+			break
+		}
+		if werr == nil {
+			werr = fmt.Errorf("wal: short write (%d of %d)", n, len(rec))
+		}
+		// Cut any partial bytes so the retry appends a clean record.
+		if terr := l.fs.Truncate(l.curName, pre); terr != nil {
+			l.err = fmt.Errorf("wal: append failed (%v) and truncate failed (%v)", werr, terr)
+			return l.err
+		}
+		if attempt >= l.opts.Retries {
+			l.err = fmt.Errorf("wal: append failed after %d retries: %w", l.opts.Retries, werr)
+			return l.err
+		}
+		l.opts.Sleep(delay)
+		if delay *= 2; delay > l.opts.RetryMax {
+			delay = l.opts.RetryMax
+		}
+	}
+	l.curSize = pre + int64(len(rec))
+	if syncNow {
+		if serr := l.cur.Sync(); serr != nil {
+			l.err = fmt.Errorf("wal: fsync failed: %w", serr)
+			return l.err
+		}
+	}
+	return nil
+}
+
+// AppendBatch logs one drained per-tick batch under its sequence number
+// (the timestamp the engine will apply it at). It must be called before
+// the engine steps.
+func (l *Log) AppendBatch(seq uint64, u core.Updates) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.append(encodeBatch(seq, u), l.opts.Sync == SyncAlways); err != nil {
+		return err
+	}
+	l.lastSeq = seq
+	return nil
+}
+
+// AppendTick logs the post-step epoch/timestamp and result-snapshot CRC,
+// marking the preceding batch fully applied. snapCRC 0 disables replay
+// verification for this tick.
+func (l *Log) AppendTick(epoch, stamp uint64, snapCRC uint32) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(encodeTick(epoch, stamp, snapCRC), l.opts.Sync != SyncNever)
+}
+
+// AppendPending logs a not-yet-drained batch at shutdown so queued updates
+// survive a clean stop. Recovery surfaces only a trailing pending record;
+// any later batch supersedes it.
+func (l *Log) AppendPending(u core.Updates) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.append(encodePending(u), l.opts.Sync != SyncNever)
+}
+
+// WriteCheckpoint atomically persists c as a checkpoint sidecar, rotates
+// the log to a fresh segment, and prunes checkpoints and segments no
+// longer needed for recovery. A checkpoint failure leaves the log itself
+// healthy (the caller keeps appending and can retry later); only a
+// rotation that loses the current segment is fatal.
+func (l *Log) WriteCheckpoint(c *Checkpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+
+	name := checkpointName(c.Stamp)
+	tmp := name + ".tmp"
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	img := encodeCheckpoint(c)
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(tmp, name); err != nil {
+		return err
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		return err
+	}
+	l.ckEpoch, l.ckStamp = c.Epoch, c.Stamp
+
+	// Rotate. If the new segment cannot be created the old one stays
+	// current — nothing is lost, rotation just waits for the next
+	// checkpoint.
+	if err := l.startSegment(c.Stamp + 1); err != nil {
+		return fmt.Errorf("wal: rotate after checkpoint: %w", err)
+	}
+
+	return l.prune()
+}
+
+// prune removes checkpoints beyond KeepCheckpoints and segments wholly
+// covered by the oldest kept checkpoint. Best-effort: an error is
+// returned but the log stays healthy.
+func (l *Log) prune() error {
+	names, err := l.fs.List()
+	if err != nil {
+		return err
+	}
+	var ckpts []uint64
+	var segs []uint64
+	for _, n := range names {
+		if s, ok := parseCheckpointName(n); ok {
+			ckpts = append(ckpts, s)
+		} else if s, ok := parseSegmentName(n); ok {
+			segs = append(segs, s)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	var firstErr error
+	keep := l.opts.KeepCheckpoints
+	if len(ckpts) > keep {
+		for _, s := range ckpts[keep:] {
+			if err := l.fs.Remove(checkpointName(s)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		ckpts = ckpts[:keep]
+	}
+	if len(ckpts) == 0 {
+		return firstErr
+	}
+	oldest := ckpts[len(ckpts)-1]
+	// A segment covers sequences [start, nextStart-1]; it is disposable
+	// when even its successor's range begins at or below oldest+1.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] > oldest+1 {
+			break
+		}
+		if err := l.fs.Remove(segmentName(segs[i])); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = l.fs.SyncDir()
+	}
+	return firstErr
+}
+
+// Close flushes and closes the current segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil {
+		return nil
+	}
+	var firstErr error
+	if l.err == nil && l.opts.Sync != SyncNever {
+		firstErr = l.cur.Sync()
+	}
+	if err := l.cur.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	l.cur = nil
+	return firstErr
+}
+
+// LastSeq returns the sequence number of the last batch appended (or
+// recovered).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// CheckpointEpoch returns the epoch of the latest checkpoint (0 if none).
+func (l *Log) CheckpointEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckEpoch
+}
+
+// CheckpointStamp returns the timestamp of the latest checkpoint (0 if
+// none).
+func (l *Log) CheckpointStamp() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckStamp
+}
+
+// Err returns the sticky failure that moved the log to the failed state,
+// or nil while healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// SnapshotCRC is the checksum used in tick records, exposed so the
+// serving layer and the log agree on the polynomial.
+func SnapshotCRC(b []byte) uint32 { return crc32.Checksum(b, crcTable) }

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"roadknn/internal/gen"
 	"roadknn/internal/graph"
 	"roadknn/internal/roadnet"
+	"roadknn/internal/wal"
 )
 
 // Movement selects how objects and queries move.
@@ -60,6 +62,12 @@ type Config struct {
 	// reports the sustained read rate (Result.ReadsPerSec). This is the
 	// serving runtime's concurrent-reader benchmark axis.
 	Readers int
+	// WALFsync, when non-empty, writes every per-timestamp batch to a
+	// write-ahead log in a temporary directory inside the timed region —
+	// exactly the durable ingestion path of the serving runtime — so the
+	// run measures the crash-safety overhead. Values are fsync policies:
+	// "always" (fsync per record), "tick" (per timestamp) or "never".
+	WALFsync string
 }
 
 // Default returns the paper's default setting (Table 2).
@@ -120,6 +128,11 @@ type Result struct {
 	// (0 when the run had no readers).
 	Readers     int
 	ReadsPerSec float64
+	// WALFsync / WALBytes report the durable-ingestion measurement: the
+	// fsync policy the run logged under and the total bytes appended to
+	// the write-ahead log ("" / 0 when the run had no WAL).
+	WALFsync string
+	WALBytes int64
 }
 
 // BuildNetwork constructs the configured network.
@@ -257,6 +270,25 @@ func (r *Runner) GenerateStep() core.Updates {
 // so the allocation counters are skipped for such runs.
 func (r *Runner) Run() Result {
 	res := Result{Engine: r.engine.Name(), Timestamps: r.cfg.Timestamps}
+	var wlog *wal.Log
+	var walDir string
+	if r.cfg.WALFsync != "" {
+		pol, err := wal.ParseSyncPolicy(r.cfg.WALFsync)
+		if err != nil {
+			panic("workload: " + err.Error())
+		}
+		walDir, err = os.MkdirTemp("", "roadknn-wal-")
+		if err != nil {
+			panic("workload: " + err.Error())
+		}
+		defer os.RemoveAll(walDir)
+		wlog, _, err = wal.OpenDir(walDir, wal.Options{Sync: pol})
+		if err != nil {
+			panic("workload: " + err.Error())
+		}
+		defer wlog.Close()
+		res.WALFsync = r.cfg.WALFsync
+	}
 	readers := r.cfg.Readers
 	var stopReaders func()
 	var reads atomic.Int64
@@ -306,7 +338,19 @@ func (r *Runner) Run() Result {
 			runtime.ReadMemStats(&msBefore)
 		}
 		start := time.Now()
+		if wlog != nil {
+			// Same protocol as serve.Tick: the batch is durable before the
+			// engine applies it, and the applied marker follows the step.
+			if err := wlog.AppendBatch(uint64(ts+1), u); err != nil {
+				panic("workload: wal append: " + err.Error())
+			}
+		}
 		r.engine.Step(u)
+		if wlog != nil {
+			if err := wlog.AppendTick(0, uint64(ts+1), 0); err != nil {
+				panic("workload: wal tick: " + err.Error())
+			}
+		}
 		res.TotalSeconds += time.Since(start).Seconds()
 		if readers == 0 {
 			runtime.ReadMemStats(&msAfter)
@@ -317,6 +361,16 @@ func (r *Runner) Run() Result {
 		sizeSum += sz
 		if sz > res.MaxSizeBytes {
 			res.MaxSizeBytes = sz
+		}
+	}
+	if wlog != nil {
+		wlog.Close()
+		if ents, err := os.ReadDir(walDir); err == nil {
+			for _, e := range ents {
+				if info, err := e.Info(); err == nil {
+					res.WALBytes += info.Size()
+				}
+			}
 		}
 	}
 	if stopReaders != nil {
