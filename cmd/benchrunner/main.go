@@ -50,6 +50,10 @@ type jsonResult struct {
 	ReadsPerSec   float64         `json:"reads_per_sec,omitempty"`
 	WALFsync      string          `json:"wal_fsync,omitempty"`
 	WALBytes      int64           `json:"wal_bytes,omitempty"`
+	IngestEnc     string          `json:"ingest_encoding,omitempty"`
+	IngestMBps    float64         `json:"ingest_mbps,omitempty"`
+	DeltaBytes    float64         `json:"delta_bytes_per_epoch,omitempty"`
+	SnapshotBytes float64         `json:"snapshot_bytes_per_epoch,omitempty"`
 	Config        workload.Config `json:"config"`
 }
 
@@ -195,6 +199,10 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 					ReadsPerSec:   res.ReadsPerSec,
 					WALFsync:      res.WALFsync,
 					WALBytes:      res.WALBytes,
+					IngestEnc:     res.IngestEncoding,
+					IngestMBps:    res.IngestMBps,
+					DeltaBytes:    res.DeltaBytesPerEpoch,
+					SnapshotBytes: res.SnapshotBytesPerEpoch,
 					Config:        p.Cfg,
 				})
 			}

@@ -99,7 +99,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 		os.Exit(1)
 	}
-	opts := roadknn.Options{Workers: *workers, Serving: *addr != ""}
+	// Serve mode enables delta emission too, so /v1/delta and /v1/deltas
+	// can stream churn-proportional updates instead of full snapshots.
+	opts := roadknn.Options{Workers: *workers, Serving: *addr != "", Deltas: *addr != ""}
 	var srv roadknn.Engine
 	switch strings.ToLower(*engine) {
 	case "ovh":

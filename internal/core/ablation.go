@@ -29,7 +29,7 @@ func NewIMAUnfilteredWith(net *roadnet.Network, o Options) *IMAUnfiltered {
 	e.set = newMonitorSet(net, false)
 	e.set.unfiltered = true
 	e.set.configure(o)
-	e.pub.init(o.Serving, e.resultOf)
+	e.pub.init(o, e.resultOf)
 	return e
 }
 

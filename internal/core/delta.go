@@ -1,0 +1,259 @@
+package core
+
+import (
+	"cmp"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"roadknn/internal/roadnet"
+)
+
+// This file implements per-epoch result deltas, the churn-proportional
+// companion of the snapshot read path. The copy-on-write publisher already
+// diffs every query's new result against the previous snapshot
+// (neighborsEqual) to decide what to copy; with Options{Deltas: true} that
+// diff is kept instead of discarded: each published Snapshot carries a
+// Delta describing exactly which queries changed and how, so a subscriber
+// holding epoch e-1 can reconstruct epoch e bit-exactly from the delta
+// alone — the serving layer's delta streaming sends only churn over the
+// wire instead of resending full result sets.
+
+// Delta describes how one published Snapshot differs from its predecessor
+// (the snapshot at epoch Epoch()-1). It is immutable once published; the
+// Queries slice is ascending by QueryID and must not be modified.
+type Delta struct {
+	epoch uint64
+	stamp uint64
+	// Queries lists every query whose registration or result changed this
+	// epoch, ascending by ID. Queries absent from the list are unchanged.
+	Queries []QueryDelta
+}
+
+// NewDelta assembles a delta from its components. Engines emit deltas
+// themselves; this constructor is for subscribers that decoded one from a
+// transport encoding and want to Apply it. Queries must be ascending by
+// ID (Apply validates).
+func NewDelta(epoch, stamp uint64, queries []QueryDelta) *Delta {
+	return &Delta{epoch: epoch, stamp: stamp, Queries: queries}
+}
+
+// Epoch returns the epoch this delta produces: applying it to the snapshot
+// at Epoch()-1 reconstructs the snapshot at Epoch().
+func (d *Delta) Epoch() uint64 { return d.epoch }
+
+// Timestamp returns the engine timestamp of the produced snapshot.
+func (d *Delta) Timestamp() uint64 { return d.stamp }
+
+// Len returns the number of changed queries.
+func (d *Delta) Len() int { return len(d.Queries) }
+
+// QueryDelta is one query's change within an epoch. Exactly one of three
+// shapes occurs:
+//
+//   - Removed true: the query was unregistered (Left and Updated empty);
+//   - a query absent from the previous snapshot: newly registered, Updated
+//     holds its full result and Left is empty;
+//   - otherwise: an in-place result change — Left lists the objects that
+//     dropped out of the k-NN set, Updated the entries that entered it or
+//     whose distance changed (with their new distances). Entries in
+//     neither kept their exact distance; rank changes among them follow
+//     from re-sorting.
+type QueryDelta struct {
+	ID      QueryID
+	Removed bool
+	Left    []roadnet.ObjectID
+	Updated []Neighbor
+}
+
+// Apply reconstructs the snapshot at d.Epoch() from its predecessor. The
+// produced snapshot's content is bit-exact: encoding it with AppendBinary
+// yields the same bytes as the originally published snapshot. Apply
+// validates the delta against prev and fails on any inconsistency (wrong
+// epoch, removal of an unknown query, a Left object not present), so a
+// protocol bug surfaces as an error instead of silent divergence.
+func (d *Delta) Apply(prev *Snapshot) (*Snapshot, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: delta apply: nil base snapshot")
+	}
+	if d.epoch != prev.epoch+1 {
+		return nil, fmt.Errorf("core: delta for epoch %d does not follow snapshot epoch %d", d.epoch, prev.epoch)
+	}
+	next := &Snapshot{epoch: d.epoch, stamp: d.stamp}
+	ids := make([]QueryID, 0, len(prev.ids)+len(d.Queries))
+	res := make([][]Neighbor, 0, len(prev.ids)+len(d.Queries))
+	j := 0 // cursor into prev.ids (both lists ascend)
+	for qi := range d.Queries {
+		qd := &d.Queries[qi]
+		if qi > 0 && d.Queries[qi-1].ID >= qd.ID {
+			return nil, fmt.Errorf("core: delta queries not ascending at id %d", qd.ID)
+		}
+		for j < len(prev.ids) && prev.ids[j] < qd.ID {
+			ids = append(ids, prev.ids[j])
+			res = append(res, prev.res[j])
+			j++
+		}
+		var old []Neighbor
+		exists := j < len(prev.ids) && prev.ids[j] == qd.ID
+		if exists {
+			old = prev.res[j]
+			j++
+		}
+		if qd.Removed {
+			if !exists {
+				return nil, fmt.Errorf("core: delta removes unknown query %d", qd.ID)
+			}
+			if len(qd.Left) > 0 || len(qd.Updated) > 0 {
+				return nil, fmt.Errorf("core: delta for removed query %d carries entries", qd.ID)
+			}
+			continue
+		}
+		nr, err := qd.apply(old)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta query %d: %w", qd.ID, err)
+		}
+		ids = append(ids, qd.ID)
+		res = append(res, nr)
+	}
+	for ; j < len(prev.ids); j++ {
+		ids = append(ids, prev.ids[j])
+		res = append(res, prev.res[j])
+	}
+	next.ids, next.res = ids, res
+	return next, nil
+}
+
+// apply rebuilds one query's result from its previous value: retained
+// entries (in neither Left nor Updated) keep their exact distances, Left
+// entries drop out, Updated entries come in with their new distances, and
+// the union is re-sorted into the canonical (distance, object id) order.
+func (qd *QueryDelta) apply(prev []Neighbor) ([]Neighbor, error) {
+	touched := func(obj roadnet.ObjectID) bool {
+		for _, o := range qd.Left {
+			if o == obj {
+				return true
+			}
+		}
+		for i := range qd.Updated {
+			if qd.Updated[i].Obj == obj {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]Neighbor, 0, len(prev)+len(qd.Updated))
+	for _, nb := range prev {
+		if touched(nb.Obj) {
+			continue
+		}
+		out = append(out, nb)
+	}
+	for _, o := range qd.Left {
+		if !slices.ContainsFunc(prev, func(nb Neighbor) bool { return nb.Obj == o }) {
+			return nil, fmt.Errorf("left object %d not in previous result", o)
+		}
+	}
+	for i := range qd.Updated {
+		for k := i + 1; k < len(qd.Updated); k++ {
+			if qd.Updated[i].Obj == qd.Updated[k].Obj {
+				return nil, fmt.Errorf("duplicate updated object %d", qd.Updated[i].Obj)
+			}
+		}
+	}
+	out = append(out, qd.Updated...)
+	slices.SortFunc(out, func(a, b Neighbor) int {
+		if a.Dist != b.Dist {
+			return cmp.Compare(a.Dist, b.Dist)
+		}
+		return cmp.Compare(a.Obj, b.Obj)
+	})
+	return out, nil
+}
+
+// ---- canonical binary encoding ----
+//
+// Like the snapshot codec, deltas have a deterministic little-endian
+// binary form — the unit in which the benchmark harness compares delta
+// wire volume against full-snapshot volume, and a fuzzable decode surface:
+//
+//	u64 epoch | u64 stamp | u32 nQueries
+//	per query: i32 id | u8 flags (1 = removed) | u32 nLeft | i32 obj ... |
+//	           u32 nUpdated | (i32 obj | u64 float64bits(dist)) ...
+
+const deltaFlagRemoved = 1
+
+// AppendBinary appends the delta's canonical encoding to buf and returns
+// the extended slice. Safe for concurrent use (deltas are immutable).
+func (d *Delta) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, d.epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, d.stamp)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Queries)))
+	for i := range d.Queries {
+		qd := &d.Queries[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(qd.ID))
+		var fl byte
+		if qd.Removed {
+			fl |= deltaFlagRemoved
+		}
+		buf = append(buf, fl)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(qd.Left)))
+		for _, o := range qd.Left {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(o))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(qd.Updated)))
+		for _, nb := range qd.Updated {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(nb.Obj))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nb.Dist))
+		}
+	}
+	return buf
+}
+
+// UnmarshalDelta decodes a canonical delta encoding. Arbitrary input is
+// safe: malformed bytes produce an error, never a panic or an oversized
+// allocation.
+func UnmarshalDelta(data []byte) (*Delta, error) {
+	d := snapDecoder{buf: data}
+	out := &Delta{
+		epoch: d.u64(),
+		stamp: d.u64(),
+	}
+	n := int(d.u32())
+	if d.err == nil && n > (len(data)-d.off)/13 { // min 13 bytes per query entry
+		return nil, fmt.Errorf("core: delta header claims %d queries in %d bytes", n, len(data))
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		var qd QueryDelta
+		qd.ID = QueryID(d.u32())
+		fl := d.byte()
+		if fl&^deltaFlagRemoved != 0 {
+			return nil, fmt.Errorf("core: delta query %d: unknown flag bits %#x", qd.ID, fl)
+		}
+		qd.Removed = fl&deltaFlagRemoved != 0
+		nl := int(d.u32())
+		if d.err == nil && nl > (len(data)-d.off)/4 {
+			return nil, fmt.Errorf("core: delta query %d claims %d left in %d remaining bytes", qd.ID, nl, len(data)-d.off)
+		}
+		for j := 0; j < nl && d.err == nil; j++ {
+			qd.Left = append(qd.Left, roadnet.ObjectID(int32(d.u32())))
+		}
+		nu := int(d.u32())
+		if d.err == nil && nu > (len(data)-d.off)/12 {
+			return nil, fmt.Errorf("core: delta query %d claims %d updated in %d remaining bytes", qd.ID, nu, len(data)-d.off)
+		}
+		for j := 0; j < nu && d.err == nil; j++ {
+			obj := roadnet.ObjectID(int32(d.u32()))
+			dist := math.Float64frombits(d.u64())
+			qd.Updated = append(qd.Updated, Neighbor{Obj: obj, Dist: dist})
+		}
+		out.Queries = append(out.Queries, qd)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("core: %d trailing bytes after delta", len(data)-d.off)
+	}
+	return out, nil
+}

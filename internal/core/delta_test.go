@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"roadknn/internal/gen"
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// deltaTestEngine builds one serving+deltas engine over a small network
+// populated with objects.
+func deltaTestEngine(mk func(*roadnet.Network, Options) Engine, seed int64, nObj int) Engine {
+	net := roadnet.NewNetwork(gen.SanFranciscoLike(200, seed))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nObj; i++ {
+		net.AddObject(roadnet.ObjectID(i), net.UniformPosition(rng))
+	}
+	return mk(net, Options{Workers: 1, Deltas: true})
+}
+
+// TestDeltaReconstructsEveryEpoch drives each engine through churn that
+// exercises every delta shape — result changes, query installs, query
+// terminations — and asserts that applying each epoch's delta to the
+// previous snapshot reconstructs the new snapshot bit-exactly (canonical
+// binary encoding compared byte for byte).
+func TestDeltaReconstructsEveryEpoch(t *testing.T) {
+	engines := []struct {
+		name string
+		mk   func(*roadnet.Network, Options) Engine
+	}{
+		{"OVH", func(n *roadnet.Network, o Options) Engine { return NewOVHWith(n, o) }},
+		{"IMA", func(n *roadnet.Network, o Options) Engine { return NewIMAWith(n, o) }},
+		{"GMA", func(n *roadnet.Network, o Options) Engine { return NewGMAWith(n, o) }},
+	}
+	const nObj = 120
+	for _, ec := range engines {
+		t.Run(ec.name, func(t *testing.T) {
+			eng := deltaTestEngine(ec.mk, 42, nObj)
+			defer eng.Close()
+			net := eng.Network()
+			rng := rand.New(rand.NewSource(99))
+			for q := 0; q < 12; q++ {
+				eng.Register(QueryID(q), net.UniformPosition(rng), 1+rng.Intn(5))
+			}
+			prev := eng.Snapshot()
+			live := map[QueryID]bool{}
+			for q := 0; q < 12; q++ {
+				live[QueryID(q)] = true
+			}
+			nextQID := QueryID(12)
+			for ts := 0; ts < 40; ts++ {
+				var u Updates
+				for i := 0; i < nObj; i++ {
+					if rng.Float64() > 0.2 {
+						continue
+					}
+					id := roadnet.ObjectID(i)
+					if old, ok := net.ObjectPos(id); ok {
+						u.Objects = append(u.Objects, ObjectUpdate{ID: id, Old: old, New: net.UniformPosition(rng)})
+					}
+				}
+				for q := QueryID(0); q < nextQID; q++ {
+					if live[q] && rng.Float64() < 0.2 {
+						u.Queries = append(u.Queries, QueryUpdate{ID: q, New: net.UniformPosition(rng)})
+					}
+				}
+				m := net.G.NumEdges()
+				for i := 0; i < 4; i++ {
+					eid := graph.EdgeID(rng.Intn(m))
+					u.Edges = append(u.Edges, EdgeUpdate{Edge: eid, NewW: net.G.Edge(eid).W * (0.9 + 0.2*rng.Float64())})
+				}
+				eng.Step(u)
+				prev = checkDeltaStep(t, eng, prev, ts)
+
+				// Registration churn publishes its own epochs: exercise the
+				// merge branch's added/removed delta paths.
+				if ts%7 == 3 {
+					eng.Register(nextQID, net.UniformPosition(rng), 1+rng.Intn(4))
+					live[nextQID] = true
+					nextQID++
+					prev = checkDeltaStep(t, eng, prev, ts)
+				}
+				if ts%11 == 5 {
+					for q := QueryID(0); q < nextQID; q++ {
+						if live[q] {
+							eng.Unregister(q)
+							delete(live, q)
+							break
+						}
+					}
+					prev = checkDeltaStep(t, eng, prev, ts)
+				}
+			}
+		})
+	}
+}
+
+// checkDeltaStep verifies the engine's latest published epoch against the
+// previous snapshot via the delta and returns the new snapshot.
+func checkDeltaStep(t *testing.T, eng Engine, prev *Snapshot, ts int) *Snapshot {
+	t.Helper()
+	snap := eng.Snapshot()
+	if snap.Epoch() != prev.Epoch()+1 {
+		t.Fatalf("ts %d: epoch jumped %d -> %d", ts, prev.Epoch(), snap.Epoch())
+	}
+	d := snap.Delta()
+	if d == nil {
+		t.Fatalf("ts %d: no delta on epoch %d", ts, snap.Epoch())
+	}
+	if d.Epoch() != snap.Epoch() || d.Timestamp() != snap.Timestamp() {
+		t.Fatalf("ts %d: delta clock %d/%d vs snapshot %d/%d",
+			ts, d.Epoch(), d.Timestamp(), snap.Epoch(), snap.Timestamp())
+	}
+	got, err := d.Apply(prev)
+	if err != nil {
+		t.Fatalf("ts %d: apply delta to epoch %d: %v", ts, prev.Epoch(), err)
+	}
+	want := snap.AppendBinary(nil)
+	if gotB := got.AppendBinary(nil); !bytes.Equal(gotB, want) {
+		t.Fatalf("ts %d: delta-reconstructed snapshot differs from published epoch %d\ndelta: %+v",
+			ts, snap.Epoch(), d.Queries)
+	}
+	// A delta codec round trip must reproduce the delta and still apply.
+	enc := d.AppendBinary(nil)
+	dec, err := UnmarshalDelta(enc)
+	if err != nil {
+		t.Fatalf("ts %d: decode emitted delta: %v", ts, err)
+	}
+	if !bytes.Equal(dec.AppendBinary(nil), enc) {
+		t.Fatalf("ts %d: delta codec round trip differs", ts)
+	}
+	return snap
+}
+
+// TestDeltaQuietStepIsEmpty: a step with no updates publishes a new epoch
+// whose delta lists no queries.
+func TestDeltaQuietStepIsEmpty(t *testing.T) {
+	eng := deltaTestEngine(func(n *roadnet.Network, o Options) Engine { return NewIMAWith(n, o) }, 7, 30)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(1))
+	eng.Register(1, eng.Network().UniformPosition(rng), 3)
+	eng.Step(Updates{})
+	d := eng.Snapshot().Delta()
+	if d == nil || d.Len() != 0 {
+		t.Fatalf("quiet step delta = %+v, want empty", d)
+	}
+}
+
+// TestDeltaDisabledByDefault: a serving engine without Options.Deltas
+// publishes snapshots with no delta attached.
+func TestDeltaDisabledByDefault(t *testing.T) {
+	net := roadnet.NewNetwork(gen.SanFranciscoLike(100, 3))
+	eng := NewIMAWith(net, Options{Workers: 1, Serving: true})
+	defer eng.Close()
+	eng.Step(Updates{})
+	if d := eng.Snapshot().Delta(); d != nil {
+		t.Fatalf("delta emitted without Options.Deltas: %+v", d)
+	}
+}
+
+func TestDeltaApplyValidation(t *testing.T) {
+	base := &Snapshot{epoch: 5, stamp: 3,
+		ids: []QueryID{1, 3},
+		res: [][]Neighbor{{{Obj: 10, Dist: 1}}, {{Obj: 11, Dist: 2}}},
+	}
+	cases := []struct {
+		name string
+		d    *Delta
+	}{
+		{"wrong epoch", NewDelta(7, 3, nil)},
+		{"remove unknown", NewDelta(6, 3, []QueryDelta{{ID: 2, Removed: true}})},
+		{"removed with entries", NewDelta(6, 3, []QueryDelta{{ID: 1, Removed: true, Left: []roadnet.ObjectID{10}}})},
+		{"left not present", NewDelta(6, 3, []QueryDelta{{ID: 1, Left: []roadnet.ObjectID{99}}})},
+		{"duplicate updated", NewDelta(6, 3, []QueryDelta{{ID: 1, Updated: []Neighbor{{Obj: 5, Dist: 1}, {Obj: 5, Dist: 2}}}})},
+		{"unsorted queries", NewDelta(6, 3, []QueryDelta{{ID: 3}, {ID: 1}})},
+	}
+	for _, tc := range cases {
+		if _, err := tc.d.Apply(base); err == nil {
+			t.Errorf("%s: Apply accepted an invalid delta", tc.name)
+		}
+	}
+	if _, err := NewDelta(6, 3, nil).Apply(nil); err == nil {
+		t.Error("Apply accepted a nil base snapshot")
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	d := NewDelta(12, 9, []QueryDelta{
+		{ID: 1, Removed: true},
+		{ID: 4, Left: []roadnet.ObjectID{7, 9}, Updated: []Neighbor{{Obj: 3, Dist: 1.25}, {Obj: 8, Dist: 2.5}}},
+		{ID: 9, Updated: []Neighbor{{Obj: 1, Dist: 0.125}}},
+	})
+	enc := d.AppendBinary(nil)
+	got, err := UnmarshalDelta(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if re := got.AppendBinary(nil); !bytes.Equal(re, enc) {
+		t.Fatalf("re-encode differs:\n got %x\nwant %x", re, enc)
+	}
+	if got.Epoch() != 12 || got.Timestamp() != 9 || got.Len() != 3 {
+		t.Fatalf("decoded header %d/%d/%d", got.Epoch(), got.Timestamp(), got.Len())
+	}
+	// Truncations of a valid encoding must all fail cleanly.
+	for i := 0; i < len(enc); i++ {
+		if _, err := UnmarshalDelta(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", i)
+		}
+	}
+}

@@ -117,7 +117,7 @@ func NewGMAWith(net *roadnet.Network, o Options) *GMA {
 		affected: make(map[QueryID]bool),
 	}
 	e.evalFn = e.evalShard
-	e.pub.init(o.Serving, e.resultOf)
+	e.pub.init(o, e.resultOf)
 	return e
 }
 

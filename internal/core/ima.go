@@ -26,7 +26,7 @@ func NewIMA(net *roadnet.Network) *IMA {
 func NewIMAWith(net *roadnet.Network, o Options) *IMA {
 	e := &IMA{set: newMonitorSet(net, false)}
 	e.set.configure(o)
-	e.pub.init(o.Serving, e.resultOf)
+	e.pub.init(o, e.resultOf)
 	return e
 }
 

@@ -55,7 +55,7 @@ func NewOVHWith(net *roadnet.Network, o Options) *OVH {
 	}
 	e.pool = pool.New(e.workers)
 	e.recFn = e.recomputeShard
-	e.pub.init(o.Serving, e.resultOf)
+	e.pub.init(o, e.resultOf)
 	runtime.AddCleanup(e, func(p *pool.Pool) { p.Close() }, e.pool)
 	return e
 }

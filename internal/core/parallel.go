@@ -46,6 +46,14 @@ type Options struct {
 	// default: without serving, reads must happen between Step calls (the
 	// original contract) and publication costs nothing.
 	Serving bool
+	// Deltas additionally attaches to every published Snapshot a Delta
+	// describing how it differs from its predecessor (which queries'
+	// results changed, and how — see Snapshot.Delta), the
+	// churn-proportional input of the serving layer's delta streaming.
+	// Implies Serving. Off by default: emission allocates the per-epoch
+	// change sets, a cost proportional to result churn that pure
+	// snapshot readers need not pay.
+	Deltas bool
 }
 
 // workers resolves the configured worker count.

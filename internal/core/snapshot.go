@@ -2,8 +2,11 @@ package core
 
 import (
 	"iter"
+	"math"
 	"slices"
 	"sync/atomic"
+
+	"roadknn/internal/roadnet"
 )
 
 // This file implements the epoch-versioned snapshot read path of the
@@ -19,11 +22,12 @@ import (
 // slices — so the steady-state *allocation* cost is proportional to the
 // result churn. (The publish itself still walks all Q registered queries:
 // id collection + sort plus a content comparison per query, a few hundred
-// nanoseconds per thousand queries; making that incremental by reusing
-// the sorted id list and the engines' affected sets is a noted follow-up,
-// not yet needed at current scales.) Readers holding an old Snapshot keep
-// a fully consistent view for as long as they like; reclamation is the
-// garbage collector's job.
+// nanoseconds per thousand queries.) The affected-query set that walk
+// computes is no longer discarded: with Options{Deltas: true} it is
+// published as a per-epoch Delta on the new Snapshot (see delta.go), the
+// churn-proportional currency of the serving layer's delta streaming.
+// Readers holding an old Snapshot keep a fully consistent view for as long
+// as they like; reclamation is the garbage collector's job.
 
 // Snapshot is an immutable view of every registered query's k-NN result
 // at one consistent engine timestamp. All accessors are safe for
@@ -33,7 +37,19 @@ type Snapshot struct {
 	stamp uint64
 	ids   []QueryID    // registered queries, ascending
 	res   [][]Neighbor // res[i] is ids[i]'s result
+	// delta describes the change from the previous epoch (nil on the
+	// initial snapshot, after a recovery restore, or when the engine was
+	// built without Options.Deltas). Each snapshot holds only its own
+	// delta, never a chain, so retaining old snapshots stays O(1) extra.
+	delta *Delta
 }
+
+// Delta returns how this snapshot differs from its predecessor (the
+// snapshot at Epoch()-1), or nil when unavailable: on the initial
+// snapshot, after a recovery restore, or when the engine was built
+// without Options{Deltas: true}. A nil return means a subscriber cannot
+// advance incrementally and must resynchronize from the full snapshot.
+func (s *Snapshot) Delta() *Delta { return s.delta }
 
 // Epoch returns the publication sequence number: it increases by exactly
 // one with every published snapshot (steps and registration changes), so
@@ -75,6 +91,9 @@ func (s *Snapshot) Lookup(id QueryID) ([]Neighbor, bool) {
 // goroutine (the one calling Step/Register/Unregister).
 type publisher struct {
 	serving bool
+	// deltas additionally attaches a per-epoch Delta to every published
+	// snapshot, derived from the COW diff below.
+	deltas bool
 	// get reads the engine's current result for one query; bound once at
 	// construction so publishing allocates no closure per step.
 	get   func(QueryID) []Neighbor
@@ -82,16 +101,26 @@ type publisher struct {
 	stamp uint64
 	// idBuf is the reused per-publish id collection buffer.
 	idBuf []QueryID
-	cur   atomic.Pointer[Snapshot]
+	// prevIdx/curIdx are the reused membership maps of the per-query delta
+	// diff (obj -> dist of the old/new result).
+	prevIdx map[roadnet.ObjectID]float64
+	curIdx  map[roadnet.ObjectID]float64
+	cur     atomic.Pointer[Snapshot]
 }
 
 // init configures the publisher. With serving enabled an empty epoch-0
 // snapshot is installed immediately so Snapshot() is never nil on a
-// serving engine.
-func (p *publisher) init(serving bool, get func(QueryID) []Neighbor) {
-	p.serving = serving
+// serving engine. Deltas implies serving (a delta without the snapshot
+// read path has no consumer).
+func (p *publisher) init(o Options, get func(QueryID) []Neighbor) {
+	p.serving = o.Serving || o.Deltas
+	p.deltas = o.Deltas
 	p.get = get
-	if serving {
+	if p.deltas {
+		p.prevIdx = make(map[roadnet.ObjectID]float64)
+		p.curIdx = make(map[roadnet.ObjectID]float64)
+	}
+	if p.serving {
 		p.cur.Store(&Snapshot{})
 	}
 }
@@ -148,6 +177,10 @@ func (p *publisher) publish(ids []QueryID) {
 	prev := p.cur.Load()
 	p.epoch++
 	snap := &Snapshot{epoch: p.epoch, stamp: p.stamp}
+	// dq accumulates the per-epoch delta (ascending by id, the walk order)
+	// when delta emission is on; churn-proportional allocation, like the
+	// COW copies themselves.
+	var dq []QueryDelta
 	if slices.Equal(ids, prev.ids) {
 		// Common steady-state shape: the query set is unchanged, so the
 		// previous (immutable) ids are shared outright and the res array is
@@ -168,11 +201,17 @@ func (p *publisher) publish(ids []QueryID) {
 				copy(res[:i], prev.res[:i])
 			}
 			res[i] = slices.Clone(cur)
+			if p.deltas {
+				dq = append(dq, p.diffResult(id, prev.res[i], res[i]))
+			}
 		}
 		if res == nil {
 			res = prev.res
 		}
 		snap.res = res
+		if p.deltas {
+			snap.delta = &Delta{epoch: snap.epoch, stamp: snap.stamp, Queries: dq}
+		}
 		p.cur.Store(snap)
 		return
 	}
@@ -182,13 +221,65 @@ func (p *publisher) publish(ids []QueryID) {
 	for i, id := range ids {
 		cur := p.get(id)
 		for j < len(prev.ids) && prev.ids[j] < id {
+			if p.deltas {
+				dq = append(dq, QueryDelta{ID: prev.ids[j], Removed: true})
+			}
 			j++
 		}
-		if j < len(prev.ids) && prev.ids[j] == id && neighborsEqual(prev.res[j], cur) {
-			snap.res[i] = prev.res[j]
+		if j < len(prev.ids) && prev.ids[j] == id {
+			if neighborsEqual(prev.res[j], cur) {
+				snap.res[i] = prev.res[j]
+				j++
+				continue
+			}
+			snap.res[i] = slices.Clone(cur)
+			if p.deltas {
+				dq = append(dq, p.diffResult(id, prev.res[j], snap.res[i]))
+			}
+			j++
 			continue
 		}
+		// Newly registered query: its whole result enters.
 		snap.res[i] = slices.Clone(cur)
+		if p.deltas {
+			dq = append(dq, QueryDelta{ID: id, Updated: snap.res[i]})
+		}
+	}
+	if p.deltas {
+		for ; j < len(prev.ids); j++ {
+			dq = append(dq, QueryDelta{ID: prev.ids[j], Removed: true})
+		}
+		snap.delta = &Delta{epoch: snap.epoch, stamp: snap.stamp, Queries: dq}
 	}
 	p.cur.Store(snap)
+}
+
+// diffResult computes one changed query's delta entry: which objects left
+// its result and which entries entered or changed distance. Both inputs
+// are in canonical (distance, object) order; the emitted Left/Updated
+// slices follow the inputs' orders, so identical histories produce
+// byte-identical deltas on every replica. The membership maps are reused
+// across calls; the emitted slices are fresh (they outlive the engine's
+// buffers).
+func (p *publisher) diffResult(id QueryID, prev, cur []Neighbor) QueryDelta {
+	qd := QueryDelta{ID: id}
+	clear(p.prevIdx)
+	for _, nb := range prev {
+		p.prevIdx[nb.Obj] = nb.Dist
+	}
+	clear(p.curIdx)
+	for _, nb := range cur {
+		p.curIdx[nb.Obj] = nb.Dist
+	}
+	for _, nb := range prev {
+		if _, ok := p.curIdx[nb.Obj]; !ok {
+			qd.Left = append(qd.Left, nb.Obj)
+		}
+	}
+	for _, nb := range cur {
+		if d, ok := p.prevIdx[nb.Obj]; !ok || math.Float64bits(d) != math.Float64bits(nb.Dist) {
+			qd.Updated = append(qd.Updated, nb)
+		}
+	}
+	return qd
 }

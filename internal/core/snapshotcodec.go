@@ -118,6 +118,14 @@ func (d *snapDecoder) take(n int) []byte {
 	return b
 }
 
+func (d *snapDecoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
 func (d *snapDecoder) u32() uint32 {
 	b := d.take(4)
 	if b == nil {

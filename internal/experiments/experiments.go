@@ -394,6 +394,46 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		exps = append(exps, e)
 	}
 
+	// Scalability S4: the wire-speed front door — per-step cost with the
+	// ingestion decoder and delta emission on, across wire encodings and
+	// churn levels (not a paper figure; supports the ROADMAP's wire-speed
+	// ingestion goal). The decode throughput lands in the Result/JSON
+	// IngestMBps field; the per-epoch delta and full-snapshot wire volumes
+	// land in DeltaBytesPerEpoch / SnapshotBytesPerEpoch — at low churn the
+	// delta bytes must sit far below the snapshot bytes, which is the whole
+	// point of delta streaming.
+	{
+		e := Experiment{
+			ID: "ing", Title: "Ingestion: wire decode throughput and delta vs snapshot volume",
+			Param: "enc/churn", Metric: CPU, Engines: []string{"IMA", "GMA"},
+			Shape: "binary decodes several times faster than JSON at equal churn; delta bytes/epoch grow with churn and stay far below the full snapshot at low agility",
+		}
+		points := []struct {
+			enc   string
+			churn float64
+		}{
+			{"json", 0.10},
+			{"ndjson", 0.10},
+			{"binary", 0.10},
+			{"binary", 0.01},
+			{"binary", 0.05},
+			{"binary", 0.20},
+		}
+		for _, pt := range points {
+			pt := pt
+			label := fmt.Sprintf("%s/%g%%", pt.enc, pt.churn*100)
+			e.Points = append(e.Points, Point{label, mk(func(c *workload.Config) {
+				c.Serving = true
+				c.Deltas = true
+				c.Ingest = pt.enc
+				c.ObjAgility = pt.churn
+				c.QryAgility = pt.churn
+				c.EdgeAgility = 0.4 * pt.churn
+			})})
+		}
+		exps = append(exps, e)
+	}
+
 	// Ablation A1: value of influence-list filtering (DESIGN.md §7).
 	{
 		e := Experiment{
@@ -437,10 +477,14 @@ func ByID(exps []Experiment, id string) *Experiment {
 
 // RunPoint runs one engine at one point and returns the full workload
 // measurements (CPU/ts, memory, allocation counters, reader throughput).
-// The point's Workers and Serving/Readers settings are threaded into the
-// engine constructor.
+// The point's Workers, Serving/Readers and Deltas settings are threaded
+// into the engine constructor.
 func RunPoint(p Point, engine string) workload.Result {
-	o := core.Options{Workers: p.Cfg.Workers, Serving: p.Cfg.Serving || p.Cfg.Readers > 0}
+	o := core.Options{
+		Workers: p.Cfg.Workers,
+		Serving: p.Cfg.Serving || p.Cfg.Readers > 0 || p.Cfg.Deltas,
+		Deltas:  p.Cfg.Deltas,
+	}
 	return workload.Run(p.Cfg, EngineWith(engine, o))
 }
 

@@ -13,9 +13,10 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 		"f16a", "f16b", "f17a", "f17b", "f18a", "f18b", "f19a", "f19b",
 	}
 	// +2 ablation experiments, +1 worker-scalability sweep, +1 concurrent-
-	// readers serving sweep, +1 WAL fsync-policy sweep
-	if len(exps) != len(want)+5 {
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+5)
+	// readers serving sweep, +1 WAL fsync-policy sweep, +1 ingestion/delta
+	// sweep
+	if len(exps) != len(want)+6 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+6)
 	}
 	sw := ByID(exps, "sw")
 	if sw == nil {
@@ -45,6 +46,15 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	for _, p := range wl.Points[1:] {
 		if p.Cfg.WALFsync == "" {
 			t.Fatalf("wal point %s has no fsync policy", p.Label)
+		}
+	}
+	ing := ByID(exps, "ing")
+	if ing == nil {
+		t.Fatal("missing ingestion/delta sweep")
+	}
+	for i, p := range ing.Points {
+		if p.Cfg.Ingest == "" || !p.Cfg.Deltas || !p.Cfg.Serving {
+			t.Fatalf("ing point %d not configured for ingestion + deltas: %+v", i, p.Cfg)
 		}
 	}
 	for _, id := range want {

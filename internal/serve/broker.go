@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"roadknn"
+	"roadknn/internal/core"
+)
+
+// broker is the delta fan-out hub: it retains the last ringSize published
+// snapshots (each carrying its per-epoch Delta, see core.Snapshot.Delta)
+// and answers per-subscriber cursor advances. A subscriber at epoch E asks
+// for everything after E and gets either
+//
+//   - the contiguous delta chain E+1..hi (churn-proportional bytes), or
+//   - a resync: the latest full snapshot, when the cursor has fallen off
+//     the ring (slow consumer), when an epoch in the chain carries no delta
+//     (engine without Options{Deltas: true}, or the post-recovery restore),
+//     or when publication itself jumped epochs (ring reset).
+//
+// The stepper publishes under stepMu before waking waiters, so a waiter
+// released by wake always finds its epoch resident. Readers never block
+// the stepper for longer than the ring-slot store.
+type broker struct {
+	mu   sync.Mutex
+	ring []*roadknn.Snapshot // ring[e % len] holds the snapshot at epoch e
+	lo   uint64              // oldest resident epoch
+	hi   uint64              // newest resident epoch
+	seen bool                // false until the first publish
+
+	// counters for /v1/stats.
+	deltasOut atomic.Int64 // deltas handed to subscribers
+	resyncs   atomic.Int64 // cursor advances answered with a full snapshot
+}
+
+func newBroker(ringSize int) *broker {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	return &broker{ring: make([]*roadknn.Snapshot, ringSize)}
+}
+
+// publish makes snap available to subscribers. Epochs must arrive in
+// order; a gap (or a republished epoch after a reset) restarts the ring at
+// snap, forcing every parked cursor through a resync — correct, never
+// silent divergence.
+func (b *broker) publish(snap *roadknn.Snapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := snap.Epoch()
+	switch {
+	case !b.seen || e != b.hi+1:
+		if b.seen && e == b.hi {
+			return // duplicate publish of the current epoch: keep the ring
+		}
+		clear(b.ring)
+		b.seen = true
+		b.lo = e
+	case e-b.lo >= uint64(len(b.ring)):
+		b.lo = e - uint64(len(b.ring)) + 1
+	}
+	b.ring[e%uint64(len(b.ring))] = snap
+	b.hi = e
+}
+
+// reset seeds the broker with snap as the only resident epoch (used after
+// WAL recovery, whose replayed epochs never reached subscribers).
+func (b *broker) reset(snap *roadknn.Snapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clear(b.ring)
+	b.seen = true
+	b.lo = snap.Epoch()
+	b.hi = snap.Epoch()
+	b.ring[b.lo%uint64(len(b.ring))] = snap
+}
+
+// collect advances a cursor at epoch since: it returns the contiguous
+// delta chain since+1..hi, or a resync snapshot when the chain is not
+// reconstructible, or (nil, nil, false) when nothing newer than since has
+// been published yet (the caller waits and retries). deltas is freshly
+// allocated; the deltas themselves are immutable shared state.
+func (b *broker) collect(since uint64) (deltas []*core.Delta, resync *roadknn.Snapshot, newer bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.seen || b.hi <= since {
+		return nil, nil, false
+	}
+	cur := b.ring[b.hi%uint64(len(b.ring))]
+	if since+1 < b.lo {
+		b.resyncs.Add(1)
+		return nil, cur, true
+	}
+	deltas = make([]*core.Delta, 0, b.hi-since)
+	for e := since + 1; e <= b.hi; e++ {
+		snap := b.ring[e%uint64(len(b.ring))]
+		if snap == nil || snap.Epoch() != e || snap.Delta() == nil {
+			b.resyncs.Add(1)
+			return nil, cur, true
+		}
+		deltas = append(deltas, snap.Delta())
+	}
+	b.deltasOut.Add(int64(len(deltas)))
+	return deltas, nil, true
+}
+
+// epoch returns the newest resident epoch (0 before the first publish).
+func (b *broker) epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hi
+}

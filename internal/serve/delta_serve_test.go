@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roadknn"
+)
+
+// newDeltaTestServer builds a server whose engine emits per-epoch deltas,
+// with a deliberately tiny broker ring so the resync path is reachable.
+func newDeltaTestServer(t *testing.T, ring int) (*Server, *httptest.Server) {
+	t.Helper()
+	net := roadknn.GenerateNetwork(300, 7)
+	eng := roadknn.NewIMAWith(net, roadknn.Options{Workers: 2, Serving: true, Deltas: true})
+	s := New(eng, Config{DeltaRing: ring}) // manual ticks
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// deltaCursor is an oracle subscriber: it holds a base snapshot and
+// advances it only through the delta protocol (never by reading the
+// engine), counting how it advanced.
+type deltaCursor struct {
+	name    string
+	snap    *roadknn.Snapshot
+	deltas  int
+	resyncs int
+}
+
+// advance pulls everything newer than the cursor's epoch from the server
+// and applies it, checking each reconstructed epoch bit for bit against
+// oracle (epoch -> canonical snapshot bytes recorded at publish time).
+func (c *deltaCursor) advance(t *testing.T, s *Server, oracle map[uint64][]byte) {
+	t.Helper()
+	deltas, resync := s.waitDelta(context.Background(), c.snap.Epoch(), 0)
+	if resync != nil {
+		c.snap = resync
+		c.resyncs++
+	}
+	for _, d := range deltas {
+		next, err := d.Apply(c.snap)
+		if err != nil {
+			t.Fatalf("%s: apply delta for epoch %d: %v", c.name, d.Epoch(), err)
+		}
+		c.snap = next
+		c.deltas++
+	}
+	want, ok := oracle[c.snap.Epoch()]
+	if !ok {
+		t.Fatalf("%s: advanced to unrecorded epoch %d", c.name, c.snap.Epoch())
+	}
+	if got := c.snap.AppendBinary(nil); !bytes.Equal(got, want) {
+		t.Fatalf("%s: reconstructed snapshot at epoch %d differs from the published one (%d vs %d bytes)",
+			c.name, c.snap.Epoch(), len(got), len(want))
+	}
+}
+
+// TestDeltaOracle is the end-to-end correctness property of the delta
+// protocol: over 60 timestamps of churn — ingested through all three wire
+// encodings — every subscriber cadence reconstructs the exact published
+// snapshot at every epoch it visits. The laggiest cursor falls off the
+// 4-slot ring and must recover via resync, not diverge.
+func TestDeltaOracle(t *testing.T) {
+	const ring = 4
+	s, hs := newDeltaTestServer(t, ring)
+	rng := rand.New(rand.NewSource(42))
+	numEdges := int32(s.Engine().Network().G.NumEdges())
+
+	// Oracle: canonical bytes of every published snapshot.
+	oracle := map[uint64][]byte{}
+	base := s.Engine().Snapshot()
+	oracle[base.Epoch()] = base.AppendBinary(nil)
+
+	cursors := []*deltaCursor{
+		{name: "every-tick", snap: base},
+		{name: "every-3", snap: base},
+		{name: "every-9", snap: base}, // lag 9 > ring 4: must hit resyncs
+	}
+
+	const nObj = 40
+	liveObj := map[int64]bool{}
+	liveQry := map[int32]int{} // id -> k
+	nextQry := int32(100)
+
+	for ts := 1; ts <= 60; ts++ {
+		req := &batchRequest{}
+		// Objects: initial placement at ts 1, then churn.
+		for id := int64(0); id < nObj; id++ {
+			switch {
+			case !liveObj[id] && (ts == 1 || rng.Float64() < 0.1):
+				liveObj[id] = true
+				req.Objects = append(req.Objects, objectReport{ID: id, Edge: rng.Int31n(numEdges), Frac: rng.Float64()})
+			case liveObj[id] && rng.Float64() < 0.05:
+				liveObj[id] = false
+				req.Objects = append(req.Objects, objectReport{ID: id, Delete: true})
+			case liveObj[id] && rng.Float64() < 0.3:
+				req.Objects = append(req.Objects, objectReport{ID: id, Edge: rng.Int31n(numEdges), Frac: rng.Float64()})
+			}
+		}
+		// Queries: seed six at ts 1, then install/end/move. Installs and
+		// moves both carry k (a k on a move of an applied query is legal).
+		if ts == 1 {
+			for id := int32(0); id < 6; id++ {
+				k := 1 + int(id)%4
+				liveQry[id] = k
+				req.Queries = append(req.Queries, queryReport{ID: id, K: k, Edge: rng.Int31n(numEdges), Frac: rng.Float64()})
+			}
+		}
+		if ts%10 == 4 {
+			for id := range liveQry { // end one live query
+				req.Queries = append(req.Queries, queryReport{ID: id, End: true})
+				delete(liveQry, id)
+				break
+			}
+		}
+		if ts%10 == 6 {
+			k := 1 + rng.Intn(4)
+			liveQry[nextQry] = k
+			req.Queries = append(req.Queries, queryReport{ID: nextQry, K: k, Edge: rng.Int31n(numEdges), Frac: rng.Float64()})
+			nextQry++
+		}
+		for id, k := range liveQry {
+			if rng.Float64() < 0.3 {
+				req.Queries = append(req.Queries, queryReport{ID: id, K: k, Edge: rng.Int31n(numEdges), Frac: rng.Float64()})
+			}
+		}
+		// A couple of edge-weight changes per tick.
+		for i := 0; i < 2; i++ {
+			req.Edges = append(req.Edges, edgeReport{Edge: rng.Int31n(numEdges), W: 0.5 + 2*rng.Float64()})
+		}
+
+		// Rotate the ingest encoding so the oracle exercises all three.
+		var code int
+		switch ts % 3 {
+		case 0:
+			body, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			code = postRaw(t, hs.URL+"/v1/updates", "application/json", body)
+		case 1:
+			var buf bytes.Buffer
+			if err := WriteNDJSON(&buf, req); err != nil {
+				t.Fatalf("ndjson: %v", err)
+			}
+			code = postRaw(t, hs.URL+"/v1/updates", "application/x-ndjson", buf.Bytes())
+		case 2:
+			code = postRaw(t, hs.URL+"/v1/updates", "application/x-roadknn-updates", EncodeWire(req))
+		}
+		if code != http.StatusOK {
+			t.Fatalf("ts %d: ingest status %d", ts, code)
+		}
+
+		snap := s.Tick()
+		oracle[snap.Epoch()] = snap.AppendBinary(nil)
+
+		cursors[0].advance(t, s, oracle)
+		if ts%3 == 0 {
+			cursors[1].advance(t, s, oracle)
+		}
+		if ts%9 == 0 {
+			cursors[2].advance(t, s, oracle)
+		}
+	}
+	// Everyone converges on the final epoch.
+	final := s.Engine().Snapshot().Epoch()
+	for _, c := range cursors {
+		c.advance(t, s, oracle)
+		if c.snap.Epoch() != final {
+			t.Fatalf("%s: ended at epoch %d, want %d", c.name, c.snap.Epoch(), final)
+		}
+	}
+
+	if cursors[0].resyncs != 0 || cursors[0].deltas == 0 {
+		t.Errorf("every-tick cursor: %d deltas, %d resyncs — want pure delta chain",
+			cursors[0].deltas, cursors[0].resyncs)
+	}
+	if cursors[2].resyncs == 0 {
+		t.Errorf("every-9 cursor never fell off the %d-slot ring: %d deltas, %d resyncs",
+			ring, cursors[2].deltas, cursors[2].resyncs)
+	}
+}
+
+// TestDeltaLongPoll covers the HTTP long-poll surface: bootstrap without
+// ?since, a real cursor advance carrying per-query churn, and a cursor
+// holding a future epoch (which must time out with the true newest epoch,
+// not hang or resync).
+func TestDeltaLongPoll(t *testing.T) {
+	s, hs := newDeltaTestServer(t, 8)
+
+	// Bootstrap: resync of the current snapshot.
+	status, boot := get(t, hs.URL+"/v1/delta")
+	if status != http.StatusOK {
+		t.Fatalf("bootstrap status %d", status)
+	}
+	if boot["resync"] == nil {
+		t.Fatalf("bootstrap without ?since did not resync: %v", boot)
+	}
+	since := uint64(boot["epoch"].(float64))
+
+	post(t, hs.URL+"/v1/updates", `{
+		"objects":[{"id":1,"edge":0,"frac":0.5},{"id":2,"edge":1,"frac":0.2}],
+		"queries":[{"id":7,"k":2,"edge":0,"frac":0.1}]
+	}`)
+	s.Tick()
+
+	status, resp := get(t, hs.URL+fmt.Sprintf("/v1/delta?since=%d&wait_ms=1000", since))
+	if status != http.StatusOK {
+		t.Fatalf("delta status %d", status)
+	}
+	deltas, ok := resp["deltas"].([]any)
+	if !ok || len(deltas) != 1 {
+		t.Fatalf("want one delta, got %v", resp)
+	}
+	d := deltas[0].(map[string]any)
+	if uint64(d["epoch"].(float64)) != since+1 {
+		t.Fatalf("delta epoch %v, want %d", d["epoch"], since+1)
+	}
+	if qs := d["queries"].([]any); len(qs) != 1 {
+		t.Fatalf("delta carries %d query changes, want 1 (the new query)", len(qs))
+	}
+	if uint64(resp["epoch"].(float64)) != since+1 {
+		t.Fatalf("response epoch %v, want %d", resp["epoch"], since+1)
+	}
+
+	// Future epoch: times out empty, reporting the real newest epoch.
+	status, resp = get(t, hs.URL+"/v1/delta?since=999999&wait_ms=50")
+	if status != http.StatusOK {
+		t.Fatalf("future-epoch status %d", status)
+	}
+	if resp["deltas"] != nil || resp["resync"] != nil {
+		t.Fatalf("future epoch answered with data: %v", resp)
+	}
+	if uint64(resp["epoch"].(float64)) != since+1 {
+		t.Fatalf("future epoch correction %v, want %d", resp["epoch"], since+1)
+	}
+
+	// Malformed cursors are rejected.
+	if status, _ := get(t, hs.URL+"/v1/delta?since=nope"); status != http.StatusBadRequest {
+		t.Fatalf("bad ?since got %d", status)
+	}
+	if status, _ := get(t, hs.URL+fmt.Sprintf("/v1/delta?since=%d&wait_ms=-1", since)); status != http.StatusBadRequest {
+		t.Fatalf("bad ?wait_ms got %d", status)
+	}
+}
+
+// sseEvents reads server-sent events from /v1/deltas until ctx is done or
+// limit events arrived, returning the event names in order.
+func sseEvents(ctx context.Context, t *testing.T, url string, limit int) []string {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(events) < limit {
+		if line := sc.Text(); strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+	}
+	return events
+}
+
+// TestDeltaStreamSSE: a fresh subscriber opens with a resync and then
+// receives one delta event per published epoch.
+func TestDeltaStreamSSE(t *testing.T) {
+	s, hs := newDeltaTestServer(t, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	done := make(chan []string)
+	go func() { done <- sseEvents(ctx, t, hs.URL+"/v1/deltas", 3) }()
+
+	for i := 0; i < 2; i++ {
+		post(t, hs.URL+"/v1/updates",
+			fmt.Sprintf(`{"objects":[{"id":%d,"edge":%d,"frac":0.5}]}`, i+1, i))
+		s.Tick()
+		time.Sleep(10 * time.Millisecond)
+	}
+	events := <-done
+	if len(events) != 3 || events[0] != "resync" || events[1] != "delta" || events[2] != "delta" {
+		t.Fatalf("event sequence %v, want [resync delta delta]", events)
+	}
+}
+
+// TestDeltaStreamDisconnect: closing the client side of an SSE stream must
+// release the handler — streams_active (surfaced in /v1/stats) drains back
+// to zero, proving no goroutine is parked forever on a dead connection.
+func TestDeltaStreamDisconnect(t *testing.T) {
+	s, hs := newDeltaTestServer(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sseEvents(ctx, t, hs.URL+"/v1/deltas", 100) // reads until cancelled
+	}()
+
+	// Wait for the stream to register, then kill the client.
+	waitFor(t, time.Second, func() bool { return s.streamsActive.Load() == 1 })
+	cancel()
+	<-done
+	s.Tick() // wake the parked handler so it notices the dead connection
+	waitFor(t, 2*time.Second, func() bool { return s.streamsActive.Load() == 0 })
+
+	if _, stats := get(t, hs.URL+"/v1/stats"); stats["streams_active"].(float64) != 0 {
+		t.Fatalf("stats streams_active = %v after disconnect", stats["streams_active"])
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDeltaBrokerChurn hammers the fan-out under -race: hundreds of SSE
+// subscribers connect with scattered cursors and drop mid-publish while
+// the stepper keeps publishing epochs. Afterwards every handler must have
+// unwound (streams_active back to zero) and the broker's counters must
+// show both delivery paths were exercised.
+func TestDeltaBrokerChurn(t *testing.T) {
+	s, hs := newDeltaTestServer(t, 4)
+	subscribers := 200
+	if testing.Short() {
+		subscribers = 40
+	}
+
+	stop := make(chan struct{})
+	var stepper sync.WaitGroup
+	stepper.Add(1)
+	go func() {
+		defer stepper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Plain http.Post: the test goroutine owns t, this one must not
+			// Fatal. A failed ingest just makes this tick's delta empty.
+			body := fmt.Sprintf(`{"objects":[{"id":%d,"edge":%d,"frac":0.25}]}`, i%17, i%11)
+			if resp, err := http.Post(hs.URL+"/v1/updates", "application/json", strings.NewReader(body)); err == nil {
+				resp.Body.Close()
+			}
+			s.Tick()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(7))
+	var subs sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		url := hs.URL + "/v1/deltas"
+		if i%3 == 1 {
+			url += fmt.Sprintf("?since=%d", rng.Intn(20)) // scattered, often stale cursors
+		}
+		lifetime := time.Duration(1+rng.Intn(40)) * time.Millisecond
+		want := 1 + rng.Intn(8)
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), lifetime)
+			defer cancel()
+			sseEvents(ctx, t, url, want)
+		}()
+		time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+	}
+	subs.Wait()
+	close(stop)
+	stepper.Wait()
+	s.Tick() // final wake so lingering handlers observe their dead clients
+
+	waitFor(t, 5*time.Second, func() bool { return s.streamsActive.Load() == 0 })
+	if out := s.broker.deltasOut.Load(); out == 0 {
+		t.Error("no deltas were delivered during the churn")
+	}
+	if rs := s.broker.resyncs.Load(); rs == 0 {
+		t.Error("no subscriber was resynced during the churn (ring is 4, cursors were stale)")
+	}
+}
+
+// TestDeltaWithoutOptIn: a server whose engine does not emit deltas must
+// still answer the delta endpoints — every advance is a resync, never an
+// error and never a fabricated delta.
+func TestDeltaWithoutOptIn(t *testing.T) {
+	s, hs := newTestServer(t) // Options without Deltas
+	status, boot := get(t, hs.URL+"/v1/delta")
+	if status != http.StatusOK || boot["resync"] == nil {
+		t.Fatalf("bootstrap on delta-less engine: status %d, %v", status, boot)
+	}
+	since := uint64(boot["epoch"].(float64))
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":0,"frac":0.5}]}`)
+	s.Tick()
+	status, resp := get(t, hs.URL+fmt.Sprintf("/v1/delta?since=%d&wait_ms=1000", since))
+	if status != http.StatusOK {
+		t.Fatalf("delta status %d", status)
+	}
+	if resp["deltas"] != nil {
+		t.Fatalf("delta-less engine produced deltas: %v", resp)
+	}
+	if resp["resync"] == nil {
+		t.Fatalf("delta-less engine did not resync: %v", resp)
+	}
+}

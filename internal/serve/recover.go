@@ -148,6 +148,10 @@ func (s *Server) Recover(rec *wal.Recovery) (RecoveryStats, error) {
 
 	st.Duration = time.Since(start)
 	s.recoveryMS.Store(st.Duration.Milliseconds())
+	// Replayed epochs never reached subscribers; the broker restarts at the
+	// recovered snapshot (whose delta is nil, so a pre-crash cursor that
+	// somehow survived would be resynchronized, never silently diverged).
+	s.broker.reset(s.eng.Snapshot())
 	s.ready.Store(true)
 	s.wake() // readers parked on ?since see the recovered epoch at once
 	return st, nil

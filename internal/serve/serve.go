@@ -14,16 +14,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/updates   ingest a JSON batch (coalesced into the next tick)
+//	POST /v1/updates   ingest an update batch, coalesced into the next
+//	                   tick. Content negotiated: application/json (one
+//	                   batch document), application/x-ndjson (one report
+//	                   per line), or application/x-roadknn-updates (the
+//	                   length-prefixed binary stream, see wire.go)
 //	POST /v1/tick      apply pending updates now; returns the new epoch
 //	GET  /v1/snapshot  all query results at one consistent timestamp;
 //	                   ?since=E long-polls until epoch > E (&wait_ms=N)
 //	GET  /v1/result    one query's result: ?query=ID (+since/wait_ms)
 //	GET  /v1/stream    server-sent events: one snapshot per new epoch
+//	GET  /v1/delta     long-poll cursor advance: ?since=E answers with the
+//	                   per-epoch deltas E+1..newest, or a full-snapshot
+//	                   resync when the cursor lagged off the delta ring
+//	GET  /v1/deltas    server-sent events: one delta per published epoch
+//	                   ("resync" events re-seed the client when needed)
 //	GET  /v1/stats     runtime counters (epoch, steps, reads, timings, WAL)
 //	GET  /healthz      readiness probe: 503 while replaying the WAL or
 //	                   after a WAL failure degraded the server to
 //	                   read-only, 200 once serving normally
+//
+// The delta endpoints require an engine built with Options{Deltas: true};
+// without it they still work but answer every advance with a resync.
 //
 // With Config.WAL set, the server is crash-safe: see the wal package and
 // Server.Recover for the durability and recovery protocol.
@@ -35,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync"
@@ -62,6 +75,10 @@ type Config struct {
 	// rejected whole with 429, bounding memory an untrusted client can
 	// pin with updates that are never ticked.
 	MaxPending int
+	// DeltaRing is how many recent epochs the delta broker retains
+	// (default 64). A delta subscriber lagging further than this is
+	// resynchronized from the full snapshot instead of replaying deltas.
+	DeltaRing int
 
 	// WAL, when set, makes the server durable: every drained batch is
 	// appended to the log before the engine steps, the pending batch is
@@ -99,11 +116,19 @@ type Server struct {
 	notifyMu sync.Mutex
 	notify   chan struct{}
 
+	// broker retains recent epochs for the delta endpoints (/v1/delta,
+	// /v1/deltas); the stepper publishes to it before waking waiters.
+	broker *broker
+
 	// counters (atomic: written by stepper and readers concurrently).
 	ingested  atomic.Int64
 	steps     atomic.Int64
 	reads     atomic.Int64
 	stepNanos atomic.Int64
+	// streamsActive counts live SSE connections (/v1/stream and
+	// /v1/deltas); it returns to zero when clients disconnect, making
+	// handler goroutine leaks observable in /v1/stats.
+	streamsActive atomic.Int64
 
 	// Durability state. seq is the batch sequence cursor (== the engine's
 	// timestamp in serve mode), guarded by stepMu; the atomics are read by
@@ -138,15 +163,20 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 1 << 20
 	}
+	if cfg.DeltaRing <= 0 {
+		cfg.DeltaRing = 64
+	}
 	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		numEdges: eng.Network().G.NumEdges(),
 		batch:    NewBatcher(),
+		broker:   newBroker(cfg.DeltaRing),
 		notify:   make(chan struct{}),
 		stopc:    make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.broker.reset(eng.Snapshot())
 	// Without a WAL there is nothing to recover: the server is born ready.
 	// With one, Recover must run first (even over an empty log) so clients
 	// never observe the pre-replay engine.
@@ -267,8 +297,9 @@ func (s *Server) Tick() *roadknn.Snapshot {
 	s.eng.Step(u)
 	s.stepNanos.Add(time.Since(start).Nanoseconds())
 	s.steps.Add(1)
+	snap := s.eng.Snapshot()
+	s.broker.publish(snap)
 	if w := s.cfg.WAL; w != nil {
-		snap := s.eng.Snapshot()
 		crc, _ := snap.CRC(nil)
 		if err := w.AppendTick(snap.Epoch(), snap.Timestamp(), crc); err != nil {
 			// The batch itself is durable; only the applied marker is lost.
@@ -277,10 +308,17 @@ func (s *Server) Tick() *roadknn.Snapshot {
 			s.setReadOnly(err)
 		} else if s.cfg.CheckpointEvery > 0 && s.seq%uint64(s.cfg.CheckpointEvery) == 0 {
 			s.checkpointLocked()
+			// The checkpoint Rebuild published one more epoch (content
+			// unchanged, so its delta is empty); hand it to the broker too
+			// so subscriber cursors stay on a contiguous chain.
+			if after := s.eng.Snapshot(); after != snap {
+				snap = after
+				s.broker.publish(snap)
+			}
 		}
 	}
 	s.wake()
-	return s.eng.Snapshot()
+	return snap
 }
 
 // checkpointLocked (stepMu held) writes a checkpoint at the current tick
@@ -368,6 +406,42 @@ func (s *Server) waitNewer(ctx context.Context, since uint64, wait time.Duration
 	}
 }
 
+// waitDelta advances a delta cursor at epoch since, waiting up to wait for
+// the broker to hold something newer. It returns the contiguous delta
+// chain, or a resync snapshot, or (nil, nil) on timeout/cancellation.
+// Waiting is on the same notify channel as waitNewer, but the condition is
+// the broker's newest epoch — the stepper publishes to the broker before
+// waking, so a released waiter always finds its epoch resident (the
+// engine's own atomic flip can be observably ahead of the broker for the
+// duration of a WAL append; polling the engine here would busy-spin over
+// that window).
+func (s *Server) waitDelta(ctx context.Context, since uint64, wait time.Duration) ([]*core.Delta, *roadknn.Snapshot) {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		if deltas, resync, newer := s.broker.collect(since); newer {
+			return deltas, resync
+		}
+		s.notifyMu.Lock()
+		ch := s.notify
+		s.notifyMu.Unlock()
+		// Re-check after grabbing the channel: a publish between the first
+		// check and the grab would otherwise be missed.
+		if deltas, resync, newer := s.broker.collect(since); newer {
+			return deltas, resync
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, nil
+		case <-s.stopc: // server closing: answer empty; client re-polls
+			return nil, nil
+		}
+	}
+}
+
 // ---- wire format ----
 
 // batchRequest is the POST /v1/updates payload.
@@ -437,6 +511,50 @@ func resultToJSON(id roadknn.QueryID, res []roadknn.Neighbor) queryResultJSON {
 	return q
 }
 
+// queryDeltaJSON is one query's change within a delta event.
+type queryDeltaJSON struct {
+	ID      int32          `json:"id"`
+	Removed bool           `json:"removed,omitempty"`
+	Left    []int64        `json:"left,omitempty"`
+	Updated []neighborJSON `json:"updated,omitempty"`
+}
+
+type deltaJSON struct {
+	Epoch     uint64           `json:"epoch"`
+	Timestamp uint64           `json:"timestamp"`
+	Queries   []queryDeltaJSON `json:"queries"`
+}
+
+// deltaPollJSON is the GET /v1/delta response: either a contiguous delta
+// chain advancing the cursor to Epoch, or a full-snapshot resync, or
+// neither (long-poll timeout; Epoch then reports the newest available
+// epoch so a client with a bogus future cursor can correct itself).
+type deltaPollJSON struct {
+	Epoch  uint64        `json:"epoch"`
+	Deltas []deltaJSON   `json:"deltas,omitempty"`
+	Resync *snapshotJSON `json:"resync,omitempty"`
+}
+
+func deltaToJSON(d *roadknn.Delta) deltaJSON {
+	out := deltaJSON{
+		Epoch:     d.Epoch(),
+		Timestamp: d.Timestamp(),
+		Queries:   make([]queryDeltaJSON, 0, len(d.Queries)),
+	}
+	for i := range d.Queries {
+		qd := &d.Queries[i]
+		j := queryDeltaJSON{ID: int32(qd.ID), Removed: qd.Removed}
+		for _, o := range qd.Left {
+			j.Left = append(j.Left, int64(o))
+		}
+		for _, nb := range qd.Updated {
+			j.Updated = append(j.Updated, neighborJSON{Obj: int64(nb.Obj), Dist: nb.Dist})
+		}
+		out.Queries = append(out.Queries, j)
+	}
+	return out
+}
+
 // ---- handlers ----
 
 // Handler returns the server's HTTP handler.
@@ -447,6 +565,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/snapshot", s.whenReady(s.handleSnapshot))
 	mux.HandleFunc("GET /v1/result", s.whenReady(s.handleResult))
 	mux.HandleFunc("GET /v1/stream", s.whenReady(s.handleStream))
+	mux.HandleFunc("GET /v1/delta", s.whenReady(s.handleDelta))
+	mux.HandleFunc("GET /v1/deltas", s.whenReady(s.handleDeltas))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -497,26 +617,75 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"status\":%q}\n", status)
 }
 
+// handleUpdates negotiates the ingestion wire format by Content-Type —
+// application/json (the default), application/x-ndjson, or the binary
+// stream (application/x-roadknn-updates / application/octet-stream; see
+// wire.go) — decodes the batch, and admits it through the shared ingest
+// path. Unknown media types answer 415.
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("batch exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	mt := ""
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		var err error
+		if mt, _, err = mime.ParseMediaType(ct); err != nil {
+			http.Error(w, "bad Content-Type: "+err.Error(), http.StatusUnsupportedMediaType)
 			return
 		}
-		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+	}
+	switch mt {
+	case "", "application/json":
+		var req batchRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			failDecode(w, err)
+			return
+		}
+		s.ingest(w, &req)
+	case "application/x-ndjson":
+		sc := getWireScratch(body)
+		defer putWireScratch(sc)
+		if err := sc.decodeNDJSON(); err != nil {
+			failDecode(w, err)
+			return
+		}
+		s.ingest(w, &sc.req)
+	case "application/x-roadknn-updates", "application/octet-stream":
+		sc := getWireScratch(body)
+		defer putWireScratch(sc)
+		if err := sc.decodeWire(); err != nil {
+			failDecode(w, err)
+			return
+		}
+		s.ingest(w, &sc.req)
+	default:
+		http.Error(w, "unsupported Content-Type "+mt+
+			" (want application/json, application/x-ndjson or application/x-roadknn-updates)",
+			http.StatusUnsupportedMediaType)
+	}
+}
+
+// failDecode answers a batch decode failure: body-size overruns with 413,
+// malformed input with 400.
+func failDecode(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		http.Error(w, fmt.Sprintf("batch exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
 		return
 	}
+	http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+}
+
+// ingest admits one decoded batch: bound pending growth (429), validate
+// (400), coalesce into the batcher, acknowledge. req is only read.
+func (s *Server) ingest(w http.ResponseWriter, req *batchRequest) {
 	n := len(req.Objects) + len(req.Queries) + len(req.Edges)
 	s.batchMu.Lock()
 	// Bound batcher memory between ticks: count the distinct entities this
 	// batch would newly add (re-reports of pending entities overwrite in
 	// place), so steady-state move traffic over a large fleet is never
 	// throttled while the pending set itself stays capped.
-	if s.batch.Pending()+s.pendingGrowth(&req) > s.cfg.MaxPending {
+	if s.batch.Pending()+s.pendingGrowth(req) > s.cfg.MaxPending {
 		s.batchMu.Unlock()
 		http.Error(w, fmt.Sprintf("too many pending updates (cap %d); tick or retry later", s.cfg.MaxPending),
 			http.StatusTooManyRequests)
@@ -526,7 +695,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	// and a single out-of-range id or non-finite value reaching Step would
 	// panic the stepper — HTTP input is untrusted, so a bad batch is
 	// rejected whole with 400 and nothing is applied.
-	if err := s.validateBatch(&req); err != nil {
+	if err := s.validateBatch(req); err != nil {
 		s.batchMu.Unlock()
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
@@ -727,6 +896,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	s.streamsActive.Add(1)
+	defer s.streamsActive.Add(-1)
 	var qid int64 = -1
 	if qs := r.URL.Query().Get("query"); qs != "" {
 		v, err := strconv.ParseInt(qs, 10, 32)
@@ -773,6 +944,130 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDelta is the long-poll cursor advance: GET /v1/delta?since=E
+// answers with the delta chain E+1..newest (or a full-snapshot resync when
+// the chain is not reconstructible), waiting up to ?wait_ms for something
+// newer than E. Without ?since it bootstraps the client with a resync of
+// the current snapshot.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sinceStr := q.Get("since")
+	s.reads.Add(1)
+	if sinceStr == "" {
+		snap := s.eng.Snapshot()
+		sj := snapshotToJSON(snap)
+		writeJSON(w, deltaPollJSON{Epoch: snap.Epoch(), Resync: &sj})
+		return
+	}
+	since, err := strconv.ParseUint(sinceStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad ?since=", http.StatusBadRequest)
+		return
+	}
+	wait := s.cfg.MaxWait
+	if ws := q.Get("wait_ms"); ws != "" {
+		ms, err := strconv.Atoi(ws)
+		if err != nil || ms < 0 {
+			http.Error(w, "bad ?wait_ms=", http.StatusBadRequest)
+			return
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < wait {
+			wait = d
+		}
+	}
+	deltas, resync := s.waitDelta(r.Context(), since, wait)
+	resp := deltaPollJSON{Epoch: since}
+	switch {
+	case resync != nil:
+		resp.Epoch = resync.Epoch()
+		sj := snapshotToJSON(resync)
+		resp.Resync = &sj
+	case len(deltas) > 0:
+		resp.Epoch = deltas[len(deltas)-1].Epoch()
+		resp.Deltas = make([]deltaJSON, 0, len(deltas))
+		for _, d := range deltas {
+			resp.Deltas = append(resp.Deltas, deltaToJSON(d))
+		}
+	default:
+		// Timeout with nothing newer: report the newest available epoch so
+		// a cursor beyond it (a client holding a future epoch) can correct
+		// itself instead of long-polling forever.
+		resp.Epoch = s.broker.epoch()
+	}
+	writeJSON(w, resp)
+}
+
+// handleDeltas streams server-sent events, one per published epoch: a
+// "delta" event carrying only that epoch's churn, or a "resync" event
+// carrying a full snapshot whenever the subscriber's cursor cannot advance
+// incrementally (lagged off the ring, or an epoch without a delta). A
+// client holding epoch E resumes with ?since=E; otherwise the stream opens
+// with a resync so the client has a base to apply deltas to.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	s.streamsActive.Add(1)
+	defer s.streamsActive.Add(-1)
+	emit := func(event string, payload any) bool {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		s.reads.Add(1)
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+		return err == nil
+	}
+	var last uint64
+	if qs := r.URL.Query().Get("since"); qs != "" {
+		v, err := strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			http.Error(w, "bad ?since=", http.StatusBadRequest)
+			return
+		}
+		last = v
+	} else {
+		snap := s.eng.Snapshot()
+		if !emit("resync", snapshotToJSON(snap)) {
+			return
+		}
+		last = snap.Epoch()
+	}
+	for {
+		deltas, resync := s.waitDelta(r.Context(), last, s.cfg.MaxWait)
+		if r.Context().Err() != nil {
+			return
+		}
+		select {
+		case <-s.stopc: // server closing: end the stream
+			return
+		default:
+		}
+		switch {
+		case resync != nil:
+			if !emit("resync", snapshotToJSON(resync)) {
+				return
+			}
+			last = resync.Epoch()
+		case len(deltas) > 0:
+			for _, d := range deltas {
+				if !emit("delta", deltaToJSON(d)) {
+					return
+				}
+			}
+			last = deltas[len(deltas)-1].Epoch()
+		default: // long-poll timeout: keep-alive comment
+			fmt.Fprintf(w, ": keep-alive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	steps := s.steps.Load()
@@ -781,14 +1076,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		avgMs = float64(s.stepNanos.Load()) / float64(steps) / 1e6
 	}
 	out := map[string]any{
-		"engine":      s.eng.Name(),
-		"epoch":       snap.Epoch(),
-		"timestamp":   snap.Timestamp(),
-		"queries":     snap.Len(),
-		"steps":       steps,
-		"avg_step_ms": avgMs,
-		"ingested":    s.ingested.Load(),
-		"reads":       s.reads.Load(),
+		"engine":         s.eng.Name(),
+		"epoch":          snap.Epoch(),
+		"timestamp":      snap.Timestamp(),
+		"queries":        snap.Len(),
+		"steps":          steps,
+		"avg_step_ms":    avgMs,
+		"ingested":       s.ingested.Load(),
+		"reads":          s.reads.Load(),
+		"streams_active": s.streamsActive.Load(),
+		"delta": map[string]any{
+			"ring":       s.cfg.DeltaRing,
+			"epoch":      s.broker.epoch(),
+			"deltas_out": s.broker.deltasOut.Load(),
+			"resyncs":    s.broker.resyncs.Load(),
+		},
 	}
 	if w2 := s.cfg.WAL; w2 != nil {
 		s.batchMu.Lock()

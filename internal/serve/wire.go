@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+
+	"roadknn/internal/core"
+)
+
+// This file implements the bulk-ingestion wire formats of POST /v1/updates.
+// Three content types are negotiated (see Server.handleUpdates):
+//
+//   - application/json: the original batchRequest document;
+//   - application/x-ndjson: one JSON record per line, each {"obj":{...}},
+//     {"qry":{...}} or {"edge":{...}} — append-friendly for producers that
+//     emit reports as they happen;
+//   - application/x-roadknn-updates (or application/octet-stream): the
+//     binary stream below — the wire-speed path.
+//
+// Binary stream layout. A body starts with an 8-byte header:
+//
+//	"RKUP" | u32 version (=1)
+//
+// followed by one or more frames, each framed exactly like a WAL record:
+//
+//	u32 len(payload) | u32 crc32c(payload) | payload
+//
+// with payload[0] the frame type. Type 1 (wireBatch) carries one update
+// batch:
+//
+//	u8 type | u32 nObjects | per object: i64 id | u8 flags (1 = delete) |
+//	                                     i32 edge | f64 frac
+//	        | u32 nQueries | per query:  i32 id | u8 flags (1 = end) |
+//	                                     i32 k | i32 edge | f64 frac
+//	        | u32 nEdges   | per edge:   i32 edge | f64 w
+//
+// All integers are little-endian; the CRC is crc32 Castagnoli, the WAL's
+// polynomial. Frames in one body accumulate into a single logical batch
+// (decoded into reused buffers, validated and admitted as one), so a
+// producer can stream a large tick's worth of reports without buffering
+// them client-side.
+
+const (
+	wireMagic   = "RKUP"
+	wireVersion = 1
+	wireHdrLen  = 8
+	wireBatch   = 1 // frame type: one update batch
+
+	// wireObjBytes/wireQryBytes/wireEdgeBytes are the encoded sizes of one
+	// report, used for frame sizing and count sanity checks.
+	wireObjBytes  = 8 + 1 + 4 + 8
+	wireQryBytes  = 4 + 1 + 4 + 4 + 8
+	wireEdgeBytes = 4 + 8
+
+	// wireMaxFrame bounds one frame's declared payload length so a corrupt
+	// length field cannot force a huge allocation before the CRC check.
+	wireMaxFrame = 1 << 26
+)
+
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// wireFlagDrop marks an object report as a delete / a query report as an
+// end, mirroring the boolean in the JSON form.
+const wireFlagDrop = 1
+
+// ---- encoding (client side: tests, benchmarks, cmd/monitor's feeder) ----
+
+// AppendWireHeader appends the binary stream header to buf.
+func AppendWireHeader(buf []byte) []byte {
+	buf = append(buf, wireMagic...)
+	return binary.LittleEndian.AppendUint32(buf, wireVersion)
+}
+
+// AppendWireBatch appends req as one framed binary batch to buf.
+func AppendWireBatch(buf []byte, req *batchRequest) []byte {
+	payload := 1 + 12 + len(req.Objects)*wireObjBytes + len(req.Queries)*wireQryBytes + len(req.Edges)*wireEdgeBytes
+	// Frame header placeholder; filled in once the payload is known.
+	base := len(buf)
+	buf = append(buf, make([]byte, 8)...)
+	buf = append(buf, wireBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Objects)))
+	for _, o := range req.Objects {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o.ID))
+		var fl byte
+		if o.Delete {
+			fl |= wireFlagDrop
+		}
+		buf = append(buf, fl)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.Edge))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Frac))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Queries)))
+	for _, q := range req.Queries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(q.ID))
+		var fl byte
+		if q.End {
+			fl |= wireFlagDrop
+		}
+		buf = append(buf, fl)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(q.K)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Edge))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.Frac))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Edges)))
+	for _, e := range req.Edges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Edge))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.W))
+	}
+	binary.LittleEndian.PutUint32(buf[base:], uint32(payload))
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(buf[base+8:], wireCRC))
+	return buf
+}
+
+// EncodeWire encodes req as a complete binary body (header + one frame) —
+// the convenience form for clients that assemble a batch in memory.
+func EncodeWire(req *batchRequest) []byte {
+	return AppendWireBatch(AppendWireHeader(nil), req)
+}
+
+// WriteNDJSON writes req as NDJSON records, one report per line.
+func WriteNDJSON(w io.Writer, req *batchRequest) error {
+	enc := json.NewEncoder(w)
+	for i := range req.Objects {
+		if err := enc.Encode(ndjsonRecord{Obj: &req.Objects[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range req.Queries {
+		if err := enc.Encode(ndjsonRecord{Qry: &req.Queries[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range req.Edges {
+		if err := enc.Encode(ndjsonRecord{Edge: &req.Edges[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ndjsonRecord is one NDJSON line: exactly one field set.
+type ndjsonRecord struct {
+	Obj  *objectReport `json:"obj,omitempty"`
+	Qry  *queryReport  `json:"qry,omitempty"`
+	Edge *edgeReport   `json:"edge,omitempty"`
+}
+
+// ---- decoding (server side) ----
+
+// wireScratch is the per-request decode state, pooled so sustained binary
+// ingestion reuses the frame buffer and the report slices instead of
+// allocating per request.
+type wireScratch struct {
+	hdr [wireHdrLen]byte
+	buf []byte // reused frame payload buffer
+	req batchRequest
+	br  *bufio.Reader
+}
+
+var wirePool = sync.Pool{New: func() any { return &wireScratch{} }}
+
+// getWireScratch leases a scratch with an empty (capacity-retaining) batch.
+func getWireScratch(r io.Reader) *wireScratch {
+	sc := wirePool.Get().(*wireScratch)
+	sc.req.Objects = sc.req.Objects[:0]
+	sc.req.Queries = sc.req.Queries[:0]
+	sc.req.Edges = sc.req.Edges[:0]
+	if sc.br == nil {
+		sc.br = bufio.NewReaderSize(r, 32<<10)
+	} else {
+		sc.br.Reset(r)
+	}
+	return sc
+}
+
+// putWireScratch returns a scratch to the pool. The caller must be done
+// with sc.req — its slices are reused by the next request.
+func putWireScratch(sc *wireScratch) {
+	sc.br.Reset(nil) // drop the request body reference
+	wirePool.Put(sc)
+}
+
+// errWire tags client-side wire-format errors (answered with 400; size
+// overruns surface as *http.MaxBytesError and answer 413 instead).
+type errWire struct{ msg string }
+
+func (e *errWire) Error() string { return e.msg }
+
+func wireErrf(format string, args ...any) error {
+	return &errWire{msg: fmt.Sprintf(format, args...)}
+}
+
+// readErr classifies a body-read failure: size overruns keep their
+// *http.MaxBytesError identity (the handler answers 413), everything else
+// becomes a wire-format error (400).
+func readErr(err error, what string) error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return err
+	}
+	return wireErrf("%s: %v", what, err)
+}
+
+// decodeWire reads a complete binary update stream into sc.req. It never
+// over-reads: exactly the framed bytes are consumed, and malformed input
+// (bad magic, length overruns, CRC mismatches, truncated frames, trailing
+// garbage) returns an error without panicking or allocating proportionally
+// to a corrupt length field.
+func (sc *wireScratch) decodeWire() error {
+	if _, err := io.ReadFull(sc.br, sc.hdr[:]); err != nil {
+		return readErr(err, "short stream header")
+	}
+	if string(sc.hdr[:4]) != wireMagic {
+		return wireErrf("bad stream magic %q", sc.hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(sc.hdr[4:]); v != wireVersion {
+		return wireErrf("unsupported stream version %d", v)
+	}
+	frames := 0
+	for {
+		_, err := io.ReadFull(sc.br, sc.hdr[:])
+		if err == io.EOF {
+			if frames == 0 {
+				return wireErrf("empty stream: no frames after header")
+			}
+			return nil
+		}
+		if err != nil {
+			return readErr(err, "short frame header")
+		}
+		n := binary.LittleEndian.Uint32(sc.hdr[:4])
+		sum := binary.LittleEndian.Uint32(sc.hdr[4:])
+		if n > wireMaxFrame {
+			return wireErrf("frame of %d bytes exceeds the %d-byte cap", n, wireMaxFrame)
+		}
+		if cap(sc.buf) < int(n) {
+			sc.buf = make([]byte, n)
+		}
+		sc.buf = sc.buf[:n]
+		if _, err := io.ReadFull(sc.br, sc.buf); err != nil {
+			return readErr(err, "truncated frame")
+		}
+		if got := crc32.Checksum(sc.buf, wireCRC); got != sum {
+			return wireErrf("frame checksum mismatch (%#x != %#x)", got, sum)
+		}
+		if err := sc.decodeFrame(sc.buf); err != nil {
+			return err
+		}
+		frames++
+	}
+}
+
+// decodeFrame appends one verified frame's reports to sc.req.
+func (sc *wireScratch) decodeFrame(p []byte) error {
+	d := wireDecoder{buf: p}
+	if t := d.byte(); t != wireBatch {
+		return wireErrf("unknown frame type %d", t)
+	}
+	nObj := d.count(wireObjBytes)
+	for i := 0; i < nObj && d.err == nil; i++ {
+		var o objectReport
+		o.ID = int64(d.u64())
+		o.Delete = d.byte()&wireFlagDrop != 0
+		o.Edge = d.i32()
+		o.Frac = d.f64()
+		sc.req.Objects = append(sc.req.Objects, o)
+	}
+	nQry := d.count(wireQryBytes)
+	for i := 0; i < nQry && d.err == nil; i++ {
+		var q queryReport
+		q.ID = d.i32()
+		q.End = d.byte()&wireFlagDrop != 0
+		q.K = int(d.i32())
+		q.Edge = d.i32()
+		q.Frac = d.f64()
+		sc.req.Queries = append(sc.req.Queries, q)
+	}
+	nEdge := d.count(wireEdgeBytes)
+	for i := 0; i < nEdge && d.err == nil; i++ {
+		var e edgeReport
+		e.Edge = d.i32()
+		e.W = d.f64()
+		sc.req.Edges = append(sc.req.Edges, e)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(p) {
+		return wireErrf("%d trailing bytes in frame", len(p)-d.off)
+	}
+	return nil
+}
+
+// decodeNDJSON reads newline-delimited JSON records into sc.req.
+func (sc *wireScratch) decodeNDJSON() error {
+	dec := json.NewDecoder(sc.br)
+	dec.DisallowUnknownFields()
+	line := 0
+	for {
+		var rec ndjsonRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				if line == 0 {
+					return wireErrf("empty NDJSON body")
+				}
+				return nil
+			}
+			return err // size overruns must surface as *http.MaxBytesError
+		}
+		line++
+		set := 0
+		if rec.Obj != nil {
+			sc.req.Objects = append(sc.req.Objects, *rec.Obj)
+			set++
+		}
+		if rec.Qry != nil {
+			sc.req.Queries = append(sc.req.Queries, *rec.Qry)
+			set++
+		}
+		if rec.Edge != nil {
+			sc.req.Edges = append(sc.req.Edges, *rec.Edge)
+			set++
+		}
+		if set != 1 {
+			return wireErrf("record %d: want exactly one of obj/qry/edge, got %d", line, set)
+		}
+	}
+}
+
+// wireDecoder is a bounds-checked cursor over one frame payload — the same
+// shape as the WAL codec's decoder, private to the wire format.
+type wireDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = wireErrf(format, args...)
+	}
+}
+
+func (d *wireDecoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("frame truncated at offset %d (need %d of %d)", d.off, n, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *wireDecoder) byte() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *wireDecoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *wireDecoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *wireDecoder) i32() int32 { return int32(d.u32()) }
+
+func (d *wireDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a u32 element count and sanity-bounds it against the bytes
+// remaining, so a corrupt count cannot drive an oversized allocation.
+func (d *wireDecoder) count(minElem int) int {
+	n := int(d.u32())
+	if d.err == nil && n*minElem > len(d.buf)-d.off {
+		d.fail("implausible element count %d at offset %d", n, d.off)
+		return 0
+	}
+	return n
+}
+
+// ---- bench bridge ----
+
+// EncodeUpdates renders one engine update batch in the named wire encoding
+// ("json", "ndjson" or "binary") — the client half of the ingestion
+// benchmark (internal/workload) and of binary feed tools.
+func EncodeUpdates(encoding string, u core.Updates) ([]byte, error) {
+	req := &batchRequest{}
+	for _, o := range u.Objects {
+		if o.Delete {
+			req.Objects = append(req.Objects, objectReport{ID: int64(o.ID), Delete: true})
+			continue
+		}
+		req.Objects = append(req.Objects, objectReport{
+			ID: int64(o.ID), Edge: int32(o.New.Edge), Frac: o.New.Frac,
+		})
+	}
+	for _, q := range u.Queries {
+		if q.Delete {
+			req.Queries = append(req.Queries, queryReport{ID: int32(q.ID), End: true})
+			continue
+		}
+		req.Queries = append(req.Queries, queryReport{
+			ID: int32(q.ID), K: q.K, Edge: int32(q.New.Edge), Frac: q.New.Frac,
+		})
+	}
+	for _, e := range u.Edges {
+		req.Edges = append(req.Edges, edgeReport{Edge: int32(e.Edge), W: e.NewW})
+	}
+	switch encoding {
+	case "json":
+		return json.Marshal(req)
+	case "ndjson":
+		var buf bytes.Buffer
+		if err := WriteNDJSON(&buf, req); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case "binary":
+		return EncodeWire(req), nil
+	}
+	return nil, fmt.Errorf("serve: unknown wire encoding %q", encoding)
+}
+
+// DecodeUpdates runs the server-side decode path of POST /v1/updates on a
+// complete body, returning the number of decoded reports. Like the
+// handler, it decodes into pooled per-connection buffers — this is the
+// function the ingestion benchmark times.
+func DecodeUpdates(encoding string, body []byte) (int, error) {
+	sc := getWireScratch(bytes.NewReader(body))
+	defer putWireScratch(sc)
+	var err error
+	switch encoding {
+	case "json":
+		err = json.NewDecoder(sc.br).Decode(&sc.req)
+	case "ndjson":
+		err = sc.decodeNDJSON()
+	case "binary":
+		err = sc.decodeWire()
+	default:
+		return 0, fmt.Errorf("serve: unknown wire encoding %q", encoding)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(sc.req.Objects) + len(sc.req.Queries) + len(sc.req.Edges), nil
+}

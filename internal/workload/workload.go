@@ -16,6 +16,7 @@ import (
 	"roadknn/internal/gen"
 	"roadknn/internal/graph"
 	"roadknn/internal/roadnet"
+	"roadknn/internal/serve"
 	"roadknn/internal/wal"
 )
 
@@ -68,6 +69,20 @@ type Config struct {
 	// run measures the crash-safety overhead. Values are fsync policies:
 	// "always" (fsync per record), "tick" (per timestamp) or "never".
 	WALFsync string
+	// Deltas enables the engine's per-epoch delta emission (implies
+	// Serving) and makes the run record the wire volume of both read
+	// paths after every step: the epoch's delta and the full snapshot in
+	// their canonical binary encodings (Result.DeltaBytesPerEpoch /
+	// SnapshotBytesPerEpoch). The measurement runs outside the timed
+	// region into reused buffers.
+	Deltas bool
+	// Ingest, when non-empty, pushes every generated batch through the
+	// serving front door's decoder in the named wire encoding ("json",
+	// "ndjson" or "binary") and reports the sustained decode throughput
+	// (Result.IngestMBps). Encoding happens outside the timed region —
+	// that work belongs to the update producers — so the number isolates
+	// the server-side cost of POST /v1/updates.
+	Ingest string
 }
 
 // Default returns the paper's default setting (Table 2).
@@ -133,6 +148,17 @@ type Result struct {
 	// the write-ahead log ("" / 0 when the run had no WAL).
 	WALFsync string
 	WALBytes int64
+	// IngestEncoding / IngestMBps report the front-door measurement: the
+	// wire encoding the batches were decoded from and the decode
+	// throughput sustained over the run ("" / 0 without Config.Ingest).
+	IngestEncoding string
+	IngestMBps     float64
+	// DeltaBytesPerEpoch / SnapshotBytesPerEpoch compare the two read
+	// paths' wire volume under Config.Deltas: the mean canonical-encoding
+	// size of one epoch's delta versus the full snapshot a delta-less
+	// subscriber would transfer (0 without Config.Deltas).
+	DeltaBytesPerEpoch    float64
+	SnapshotBytesPerEpoch float64
 }
 
 // BuildNetwork constructs the configured network.
@@ -332,8 +358,26 @@ func (r *Runner) Run() Result {
 	var sizeSum int
 	var allocs, bytes uint64
 	var msBefore, msAfter runtime.MemStats
+	var ingestBytes int64
+	var ingestSeconds float64
+	var deltaBytes, snapBytes, deltaEpochs int64
+	var wireBuf []byte // reused for the delta/snapshot size measurements
 	for ts := 0; ts < r.cfg.Timestamps; ts++ {
 		u := r.GenerateStep()
+		if r.cfg.Ingest != "" {
+			// The encode is the producer's cost; only the server-side decode
+			// of the front door is timed.
+			body, err := serve.EncodeUpdates(r.cfg.Ingest, u)
+			if err != nil {
+				panic("workload: ingest encode: " + err.Error())
+			}
+			start := time.Now()
+			if _, err := serve.DecodeUpdates(r.cfg.Ingest, body); err != nil {
+				panic("workload: ingest decode: " + err.Error())
+			}
+			ingestSeconds += time.Since(start).Seconds()
+			ingestBytes += int64(len(body))
+		}
 		if readers == 0 {
 			runtime.ReadMemStats(&msBefore)
 		}
@@ -357,11 +401,32 @@ func (r *Runner) Run() Result {
 			allocs += msAfter.Mallocs - msBefore.Mallocs
 			bytes += msAfter.TotalAlloc - msBefore.TotalAlloc
 		}
+		if r.cfg.Deltas {
+			if snap := r.engine.Snapshot(); snap != nil {
+				wireBuf = snap.AppendBinary(wireBuf[:0])
+				snapBytes += int64(len(wireBuf))
+				if d := snap.Delta(); d != nil {
+					wireBuf = d.AppendBinary(wireBuf[:0])
+					deltaBytes += int64(len(wireBuf))
+					deltaEpochs++
+				}
+			}
+		}
 		sz := r.engine.SizeBytes()
 		sizeSum += sz
 		if sz > res.MaxSizeBytes {
 			res.MaxSizeBytes = sz
 		}
+	}
+	if r.cfg.Ingest != "" && ingestSeconds > 0 {
+		res.IngestEncoding = r.cfg.Ingest
+		res.IngestMBps = float64(ingestBytes) / (1 << 20) / ingestSeconds
+	}
+	if deltaEpochs > 0 {
+		res.DeltaBytesPerEpoch = float64(deltaBytes) / float64(deltaEpochs)
+	}
+	if r.cfg.Deltas && r.cfg.Timestamps > 0 {
+		res.SnapshotBytesPerEpoch = float64(snapBytes) / float64(r.cfg.Timestamps)
 	}
 	if wlog != nil {
 		wlog.Close()

@@ -83,6 +83,15 @@ type (
 	// built with Options{Serving: true} and read lock-free via
 	// Engine.Snapshot concurrently with Step.
 	Snapshot = core.Snapshot
+	// Delta describes how one published Snapshot differs from its
+	// predecessor: which queries' results changed and how. Engines built
+	// with Options{Deltas: true} attach one to every published Snapshot
+	// (Snapshot.Delta); Delta.Apply reconstructs the next snapshot
+	// bit-exactly from the previous one, the basis of churn-proportional
+	// delta streaming in internal/serve.
+	Delta = core.Delta
+	// QueryDelta is one query's change within a Delta.
+	QueryDelta = core.QueryDelta
 	// Updates is a timestamp's batch of events.
 	Updates = core.Updates
 	// ObjectUpdate reports an object movement, appearance or disappearance.
