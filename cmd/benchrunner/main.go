@@ -54,6 +54,8 @@ type jsonResult struct {
 	IngestMBps    float64         `json:"ingest_mbps,omitempty"`
 	DeltaBytes    float64         `json:"delta_bytes_per_epoch,omitempty"`
 	SnapshotBytes float64         `json:"snapshot_bytes_per_epoch,omitempty"`
+	Followers     int             `json:"followers,omitempty"`
+	ReplLagMs     float64         `json:"repl_lag_ms,omitempty"`
 	Config        workload.Config `json:"config"`
 }
 
@@ -203,6 +205,8 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 					IngestMBps:    res.IngestMBps,
 					DeltaBytes:    res.DeltaBytesPerEpoch,
 					SnapshotBytes: res.SnapshotBytesPerEpoch,
+					Followers:     res.Followers,
+					ReplLagMs:     res.ReplLagMs,
 					Config:        p.Cfg,
 				})
 			}

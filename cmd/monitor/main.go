@@ -29,6 +29,26 @@
 //	monitor -net net.json -engine ima -serve 127.0.0.1:8080 \
 //	        -wal-dir /var/lib/monitor/wal -checkpoint-every 60 -fsync tick
 //
+// Follower mode (-serve plus -follow) turns the process into a read
+// replica of a durable primary: it bootstraps from the primary's newest
+// checkpoint, tails its shipped WAL stream, replays every batch through
+// the same deterministic path and serves reads (writes answer 503 with a
+// pointer to the primary). The network file must be the one the primary
+// runs on — bootstrap verifies the rebuilt snapshot byte for byte.
+//
+//	monitor -net net.json -engine ima -serve 127.0.0.1:8081 \
+//	        -follow http://127.0.0.1:8080
+//
+// Router mode (-serve plus -replicate) load-balances reads across
+// follower replicas, using the epoch as a consistency token: a request
+// carrying ?since=E is only routed to a follower known to have reached
+// epoch E. POSTs forward to -primary when given. No -net is needed —
+// the router holds no engine.
+//
+//	monitor -serve 127.0.0.1:8079 \
+//	        -replicate http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	        -primary http://127.0.0.1:8080
+//
 // Replay mode (default) replays a line-based update stream from stdin,
 // printing result changes — a minimal, scriptable frontend:
 //
@@ -65,6 +85,7 @@ import (
 	"time"
 
 	"roadknn"
+	"roadknn/internal/cluster"
 	"roadknn/internal/serve"
 	"roadknn/internal/wal"
 )
@@ -79,14 +100,32 @@ func main() {
 		walDir  = flag.String("wal-dir", "", "serve mode: directory for the write-ahead log (enables crash recovery)")
 		ckEvery = flag.Int("checkpoint-every", 60, "serve mode: write a checkpoint every N ticks (0 = never; needs -wal-dir)")
 		fsync   = flag.String("fsync", "tick", "serve mode: WAL fsync policy: always, tick or never")
+		follow  = flag.String("follow", "", "follower mode: primary base URL to replicate from (needs -serve)")
+		repl    = flag.String("replicate", "", "router mode: comma-separated follower base URLs to balance reads across (needs -serve)")
+		primary = flag.String("primary", "", "router mode: primary base URL for forwarded writes")
 	)
 	flag.Parse()
+	if *repl != "" {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "monitor: -replicate requires -serve")
+			os.Exit(1)
+		}
+		if err := routeHTTP(*addr, strings.Split(*repl, ","), *primary); err != nil {
+			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *netFile == "" {
 		fmt.Fprintln(os.Stderr, "monitor: -net is required")
 		os.Exit(1)
 	}
 	if *walDir != "" && *addr == "" {
 		fmt.Fprintln(os.Stderr, "monitor: -wal-dir requires -serve")
+		os.Exit(1)
+	}
+	if *follow != "" && (*addr == "" || *walDir != "") {
+		fmt.Fprintln(os.Stderr, "monitor: -follow requires -serve and excludes -wal-dir")
 		os.Exit(1)
 	}
 	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
@@ -115,6 +154,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *follow != "" {
+		if err := followHTTP(srv, *addr, *follow); err != nil {
+			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *addr != "" {
 		if err := serveHTTP(srv, *addr, *tick, *walDir, *ckEvery, syncPolicy); err != nil {
 			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
@@ -172,6 +218,82 @@ func serveHTTP(eng roadknn.Engine, addr string, tick time.Duration, walDir strin
 	// Close first: it wakes parked long-pollers and streamers so the
 	// graceful listener shutdown drains instead of timing out on them.
 	s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}
+
+// followHTTP runs a follower replica: handshake with the primary (the
+// engine and checkpoint cadence must mirror it), bring the listener up
+// (healthz answers 503 until bootstrapped), bootstrap from the newest
+// checkpoint and tail the shipped log until SIGINT/SIGTERM. A terminal
+// replication error (divergence, pruned cursor) is reported but the
+// process keeps serving its last consistent state — the router stops
+// routing to a poisoned follower via its health probe.
+func followHTTP(eng roadknn.Engine, addr, primaryURL string) error {
+	fcfg := cluster.FollowerConfig{Primary: primaryURL}
+	info, err := cluster.FetchInfo(fcfg)
+	if err != nil {
+		return fmt.Errorf("replication handshake with %s: %w", primaryURL, err)
+	}
+	if info.Engine != eng.Name() {
+		return fmt.Errorf("primary runs engine %s, this replica %s", info.Engine, eng.Name())
+	}
+	s := serve.New(eng, serve.Config{Follower: true, CheckpointEvery: info.CheckpointEvery})
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "monitor: follower of %s serving %s engine on http://%s\n",
+		primaryURL, eng.Name(), addr)
+
+	f := cluster.NewFollower(s, fcfg)
+	if err := f.Bootstrap(); err != nil {
+		return fmt.Errorf("bootstrap from %s: %w", primaryURL, err)
+	}
+	fmt.Fprintf(os.Stderr, "monitor: bootstrapped at sequence %d (checkpoint stamp %d), tailing log\n",
+		f.Cursor(), info.CheckpointStamp)
+	f.Start()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "monitor: %v, shutting down\n", sig)
+	}
+	f.Stop()
+	if err := f.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "monitor: replication stopped: %v\n", err)
+	}
+	s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}
+
+// routeHTTP runs the read-side router over follower replicas.
+func routeHTTP(addr string, followers []string, primaryURL string) error {
+	for i := range followers {
+		followers[i] = strings.TrimSpace(followers[i])
+	}
+	rt := cluster.NewRouter(cluster.RouterConfig{Followers: followers, Primary: primaryURL})
+	rt.Start()
+	defer rt.Close()
+	hs := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "monitor: routing reads across %d followers on http://%s\n",
+		len(followers), addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "monitor: %v, shutting down\n", sig)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return hs.Shutdown(ctx)

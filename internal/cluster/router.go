@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Router load-balances reads across follower replicas with the epoch as
+// the consistency token. Every GET is proxied to an eligible backend:
+// alive (last health probe or proxied response succeeded) and, when the
+// request carries ?since=E, known to have reached epoch E — the router's
+// per-backend epoch only ever lags the backend's true epoch (it is
+// learned from X-Roadknn-Epoch response headers and periodic stats
+// polls), so this filter can delay a request, never violate monotonic
+// reads. When no backend qualifies the router answers 503 with
+// Retry-After rather than serving a stale replica.
+//
+// Writes (POST) are forwarded to the primary when one is configured,
+// else rejected — the router is a read-side component; the primary's
+// address is published to writers directly in most deployments.
+type Router struct {
+	cfg      RouterConfig
+	backends []*backend
+	primary  string
+	rr       atomic.Uint64 // round-robin cursor
+	client   *http.Client
+
+	startOne sync.Once
+	stopOne  sync.Once
+	stopc    chan struct{}
+	done     chan struct{}
+}
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Followers are the follower base URLs reads are balanced across.
+	Followers []string
+	// Primary, when set, receives forwarded POSTs (and is also used as a
+	// read backend of last resort when every follower is ineligible).
+	Primary string
+	// Client is the HTTP client used for proxying and health probes.
+	Client *http.Client
+	// HealthEvery is the health/epoch probe period (default 1s).
+	HealthEvery time.Duration
+}
+
+type backend struct {
+	url   string
+	alive atomic.Bool
+	epoch atomic.Uint64 // highest epoch this backend is known to have reached
+}
+
+// NewRouter builds a router over the given backends. Start launches the
+// health probes; until the first probe completes backends are assumed
+// alive (optimistic, corrected within one probe period).
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = time.Second
+	}
+	rt := &Router{
+		cfg:     cfg,
+		primary: cfg.Primary,
+		client:  cfg.Client,
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, u := range cfg.Followers {
+		b := &backend{url: u}
+		b.alive.Store(true)
+		rt.backends = append(rt.backends, b)
+	}
+	return rt
+}
+
+// Start launches the periodic health/epoch probes.
+func (rt *Router) Start() {
+	rt.startOne.Do(func() {
+		go func() {
+			defer close(rt.done)
+			rt.probeAll()
+			t := time.NewTicker(rt.cfg.HealthEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-rt.stopc:
+					return
+				case <-t.C:
+					rt.probeAll()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the probes.
+func (rt *Router) Close() {
+	rt.stopOne.Do(func() { close(rt.stopc) })
+	rt.Start()
+	<-rt.done
+}
+
+// probeAll refreshes every backend's aliveness and epoch.
+func (rt *Router) probeAll() {
+	for _, b := range rt.backends {
+		rt.probe(b)
+	}
+}
+
+// probe checks one backend: /healthz for aliveness (2xx = routable),
+// /v1/stats for the epoch. A follower still bootstrapping (healthz 503)
+// is not routable; a poisoned one (read-only after divergence) neither.
+func (rt *Router) probe(b *backend) {
+	resp, err := rt.client.Get(b.url + "/healthz")
+	if err != nil {
+		b.alive.Store(false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.alive.Store(false)
+		return
+	}
+	b.alive.Store(true)
+	var stats struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := getJSON(rt.client, b.url+"/v1/stats", &stats); err == nil {
+		advanceEpoch(&b.epoch, stats.Epoch)
+	}
+}
+
+// advanceEpoch raises e to at least v (epochs never go backwards; a
+// stale concurrent probe must not lower what a response header learned).
+func advanceEpoch(e *atomic.Uint64, v uint64) {
+	for {
+		cur := e.Load()
+		if v <= cur || e.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// pick returns up to len(backends) eligible backends in round-robin
+// order: alive and caught up to since.
+func (rt *Router) pick(since uint64) []*backend {
+	n := len(rt.backends)
+	if n == 0 {
+		return nil
+	}
+	start := int(rt.rr.Add(1) % uint64(n))
+	var out []*backend
+	for i := 0; i < n; i++ {
+		b := rt.backends[(start+i)%n]
+		if b.alive.Load() && b.epoch.Load() >= since {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Handler returns the router's HTTP handler: /v1/* proxied by method,
+// /v1/cluster and /healthz answered locally.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("/", rt.handleProxy)
+	return mux
+}
+
+// handleHealthz: the router is healthy when at least one backend is.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	for _, b := range rt.backends {
+		if b.alive.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"status\":\"ok\"}\n")
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "no live backend", http.StatusServiceUnavailable)
+}
+
+// handleCluster reports the router's view of the fleet.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	type backendJSON struct {
+		URL   string `json:"url"`
+		Alive bool   `json:"alive"`
+		Epoch uint64 `json:"epoch"`
+	}
+	out := struct {
+		Primary   string        `json:"primary,omitempty"`
+		Followers []backendJSON `json:"followers"`
+	}{Primary: rt.primary}
+	for _, b := range rt.backends {
+		out.Followers = append(out.Followers, backendJSON{URL: b.url, Alive: b.alive.Load(), Epoch: b.epoch.Load()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleProxy forwards one request: GETs to an eligible follower (with
+// failover across the eligible set on connection errors), POSTs to the
+// primary.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		rt.proxyRead(w, r)
+	case http.MethodPost:
+		rt.proxyWrite(w, r)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request) {
+	if rt.primary == "" {
+		http.Error(w, "router has no primary configured; POST to the primary directly", http.StatusServiceUnavailable)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, rt.primary+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "primary unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+}
+
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if ss := r.URL.Query().Get("since"); ss != "" {
+		v, err := strconv.ParseUint(ss, 10, 64)
+		if err != nil {
+			http.Error(w, "bad ?since=", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	candidates := rt.pick(since)
+	if rt.primary != "" && len(candidates) == 0 {
+		// Last resort: the primary always has the newest epoch.
+		candidates = []*backend{{url: rt.primary}}
+		candidates[0].alive.Store(true)
+	}
+	for i, b := range candidates {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+r.URL.RequestURI(), nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			// Connection-level failure: mark dead and fail over. Nothing has
+			// been written to the client yet, so a retry is transparent.
+			b.alive.Store(false)
+			if i+1 < len(candidates) {
+				continue
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "no reachable backend", http.StatusServiceUnavailable)
+			return
+		}
+		if e, ok := parseEpochHeader(resp.Header); ok {
+			advanceEpoch(&b.epoch, e)
+		}
+		relay(w, resp)
+		resp.Body.Close()
+		return
+	}
+	// No backend is both alive and caught up to the client's cursor: tell
+	// the client to retry rather than violate its monotonic-read contract.
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, fmt.Sprintf("no replica has reached epoch %d yet", since), http.StatusServiceUnavailable)
+}
+
+// relay copies one upstream response to the client, flushing after every
+// chunk so streaming endpoints (SSE, binary delta streams) pass through
+// with their event boundaries intact.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"iter"
 	"math"
 	"slices"
+	"sync"
 	"sync/atomic"
 
 	"roadknn/internal/roadnet"
@@ -42,6 +43,11 @@ type Snapshot struct {
 	// built without Options.Deltas). Each snapshot holds only its own
 	// delta, never a chain, so retaining old snapshots stays O(1) extra.
 	delta *Delta
+	// crcOnce/crcVal memoize CRC32: with replication the same snapshot's
+	// checksum is needed by the WAL tick, the follower verification and
+	// the stats endpoint, and immutability makes the value cacheable.
+	crcOnce sync.Once
+	crcVal  uint32
 }
 
 // Delta returns how this snapshot differs from its predecessor (the

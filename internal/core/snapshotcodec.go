@@ -57,7 +57,20 @@ func (s *Snapshot) MarshalBinary() ([]byte, error) {
 func (s *Snapshot) CRC(buf []byte) (uint32, []byte) {
 	start := len(buf)
 	buf = s.AppendBinary(buf)
-	return crc32.ChecksumIEEE(buf[start:]), buf
+	crc := crc32.ChecksumIEEE(buf[start:])
+	s.crcOnce.Do(func() { s.crcVal = crc })
+	return crc, buf
+}
+
+// CRC32 returns the IEEE CRC32 of the snapshot's canonical encoding,
+// computed at most once per snapshot (immutability makes the value
+// cacheable). This is the per-tick checksum the WAL logs and follower
+// replicas verify against; safe for concurrent use.
+func (s *Snapshot) CRC32() uint32 {
+	s.crcOnce.Do(func() {
+		s.crcVal = crc32.ChecksumIEEE(s.AppendBinary(nil))
+	})
+	return s.crcVal
 }
 
 // UnmarshalSnapshot decodes a canonical snapshot encoding. The result is a

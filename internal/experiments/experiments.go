@@ -434,6 +434,31 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		exps = append(exps, e)
 	}
 
+	// Scalability S5: the replicated serve tier — follower replicas
+	// tailing the primary's sequenced log while readers hammer the
+	// replica fleet (not a paper figure; supports the ROADMAP's
+	// replication goal). The CPU metric reports the primary's step time
+	// with shipping active; the mean replication lag lands in the
+	// Result/JSON ReplLagMs field and the fleet's aggregate read rate in
+	// ReadsPerSec.
+	{
+		e := Experiment{
+			ID: "rep", Title: "Replication: follower fan-out, lag and aggregate reads",
+			Param: "followers", Metric: CPU, Engines: []string{"IMA"},
+			Shape: "step time stays flat in follower count (shipping is off the step path); aggregate reads/sec scales with followers while replication lag stays low",
+		}
+		for _, n := range []int{1, 2, 4} {
+			n := n
+			e.Points = append(e.Points, Point{fmt.Sprint(n), mk(func(c *workload.Config) {
+				c.Serving = true
+				c.WALFsync = "never"
+				c.Followers = n
+				c.Readers = 2
+			})})
+		}
+		exps = append(exps, e)
+	}
+
 	// Ablation A1: value of influence-list filtering (DESIGN.md §7).
 	{
 		e := Experiment{

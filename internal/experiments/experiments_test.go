@@ -14,9 +14,9 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	}
 	// +2 ablation experiments, +1 worker-scalability sweep, +1 concurrent-
 	// readers serving sweep, +1 WAL fsync-policy sweep, +1 ingestion/delta
-	// sweep
-	if len(exps) != len(want)+6 {
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+6)
+	// sweep, +1 replication sweep
+	if len(exps) != len(want)+7 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+7)
 	}
 	sw := ByID(exps, "sw")
 	if sw == nil {
@@ -46,6 +46,15 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	for _, p := range wl.Points[1:] {
 		if p.Cfg.WALFsync == "" {
 			t.Fatalf("wal point %s has no fsync policy", p.Label)
+		}
+	}
+	rep := ByID(exps, "rep")
+	if rep == nil {
+		t.Fatal("missing replication sweep")
+	}
+	for i, p := range rep.Points {
+		if p.Cfg.Followers < 1 || p.Cfg.WALFsync == "" || !p.Cfg.Serving || p.Cfg.Readers < 1 {
+			t.Fatalf("rep point %d not configured for replication: %+v", i, p.Cfg)
 		}
 	}
 	ing := ByID(exps, "ing")

@@ -32,6 +32,7 @@ type broker struct {
 	// counters for /v1/stats.
 	deltasOut atomic.Int64 // deltas handed to subscribers
 	resyncs   atomic.Int64 // cursor advances answered with a full snapshot
+	evicted   atomic.Int64 // subscribers dropped: stalled send or chronic ring lag
 }
 
 func newBroker(ringSize int) *broker {

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"roadknn"
+	"roadknn/internal/core"
+	"roadknn/internal/wal"
+)
+
+// This file is the log-shipping layer of the replicated serve tier. The
+// primary exposes its sequenced WAL as three endpoints; followers (driven
+// by internal/cluster) bootstrap from the newest checkpoint, then tail
+// the batch/tick record stream and replay it through the exact machinery
+// Server.Recover uses — the deterministic Batcher→Step path plus
+// per-tick snapshot-CRC verification — so a caught-up follower's
+// snapshot at epoch e is byte-identical to the primary's.
+//
+//	GET /v1/replication/info        JSON handshake: engine name,
+//	                                checkpoint cadence, log position
+//	GET /v1/replication/checkpoint  the newest checkpoint image, raw
+//	                                (204 when none exists yet)
+//	GET /v1/replication/log?since=S the WAL records after sequence S:
+//	                                an 8-byte "RKRL"|u32-version header,
+//	                                then wal.EncodeRecords frames.
+//	                                Long-polls up to ?wait_ms; answers
+//	                                410 Gone when S has been pruned away
+//	                                (the follower must re-bootstrap from
+//	                                the current checkpoint)
+//
+// Epoch alignment needs no extra protocol: in serve mode epochs advance
+// only per applied tick plus per checkpoint-boundary Rebuild, a pure
+// function of (sequence, CheckpointEvery), so a follower configured with
+// the primary's CheckpointEvery reproduces the primary's epoch numbering
+// by construction — and the tick records prove it, carrying the expected
+// epoch and snapshot CRC for every applied batch.
+
+const (
+	// replLogMagic/replLogVersion frame the /v1/replication/log body.
+	replLogMagic   = "RKRL"
+	replLogVersion = 1
+	// ReplLogHdrLen is the byte length of the log response header.
+	ReplLogHdrLen = 8
+	// replLogMaxRecords caps records per log response, bounding response
+	// size; the follower simply asks again from its advanced cursor.
+	replLogMaxRecords = 512
+
+	// checkpointStampHeader carries the checkpoint's stamp on
+	// /v1/replication/checkpoint responses.
+	checkpointStampHeader = "X-Roadknn-Checkpoint-Stamp"
+)
+
+// ReplicationInfo is the GET /v1/replication/info document: what a
+// follower needs before constructing its mirror server.
+type ReplicationInfo struct {
+	Engine          string `json:"engine"`
+	CheckpointEvery int    `json:"checkpoint_every"`
+	LastSeq         uint64 `json:"last_seq"`
+	CheckpointStamp uint64 `json:"checkpoint_stamp"`
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	Epoch           uint64 `json:"epoch"`
+}
+
+func (s *Server) handleReplicationInfo(w http.ResponseWriter, r *http.Request) {
+	l := s.cfg.WAL
+	writeJSON(w, ReplicationInfo{
+		Engine:          s.eng.Name(),
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		LastSeq:         l.LastSeq(),
+		CheckpointStamp: l.CheckpointStamp(),
+		CheckpointEpoch: l.CheckpointEpoch(),
+		Epoch:           s.eng.Snapshot().Epoch(),
+	})
+}
+
+func (s *Server) handleReplicationCheckpoint(w http.ResponseWriter, r *http.Request) {
+	img, stamp, err := s.cfg.WAL.CheckpointImage()
+	if err != nil {
+		http.Error(w, "reading checkpoint: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if img == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(checkpointStampHeader, strconv.FormatUint(stamp, 10))
+	w.Write(img)
+}
+
+// AppendReplLogHeader appends the log response header to buf (exported
+// for the cluster package's decoder and tests).
+func AppendReplLogHeader(buf []byte) []byte {
+	buf = append(buf, replLogMagic...)
+	return binary.LittleEndian.AppendUint32(buf, replLogVersion)
+}
+
+// DecodeReplLog strips and verifies the log response header and decodes
+// the records after it.
+func DecodeReplLog(body []byte) ([]wal.BatchRecord, error) {
+	if len(body) < ReplLogHdrLen || string(body[:4]) != replLogMagic {
+		return nil, fmt.Errorf("serve: bad replication log header")
+	}
+	if v := binary.LittleEndian.Uint32(body[4:8]); v != replLogVersion {
+		return nil, fmt.Errorf("serve: unsupported replication log version %d", v)
+	}
+	return wal.DecodeRecords(body[ReplLogHdrLen:])
+}
+
+// handleReplicationLog streams the WAL records after ?since=S. A batch
+// whose tick has not been logged yet is withheld: it sits in the
+// mid-step window, and under group commit its bytes may not be durable —
+// followers must never externalize results the primary has not.
+func (s *Server) handleReplicationLog(w http.ResponseWriter, r *http.Request) {
+	since, _, wait, ok := s.parseSinceWait(w, r)
+	if !ok {
+		return
+	}
+	l := s.cfg.WAL
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		// Grab the wake channel before reading: an append between the read
+		// and the wait would otherwise be missed.
+		ch := l.Appended()
+		recs, err := l.ReadSince(since, replLogMaxRecords)
+		if err != nil {
+			http.Error(w, "reading log: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(recs) > 0 && recs[0].Seq != since+1 {
+			// The records after `since` were pruned by a checkpoint rotation:
+			// this cursor can never be served contiguously again.
+			http.Error(w, fmt.Sprintf("log pruned past sequence %d (first available is %d): bootstrap from the checkpoint",
+				since, recs[0].Seq), http.StatusGone)
+			return
+		}
+		if n := len(recs); n > 0 && recs[n-1].Tick == nil {
+			recs = recs[:n-1]
+		}
+		if len(recs) > 0 {
+			body := AppendReplLogHeader(nil)
+			body = wal.EncodeRecords(body, recs)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Roadknn-Last-Seq", strconv.FormatUint(recs[len(recs)-1].Seq, 10))
+			w.Write(body)
+			return
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			// Nothing newer within the window: an empty (header-only) body.
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(AppendReplLogHeader(nil))
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.stopc:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(AppendReplLogHeader(nil))
+			return
+		}
+	}
+}
+
+// ---- follower side ----
+
+// BootstrapFollower seeds a follower server from a primary checkpoint
+// (nil when the primary has not checkpointed yet — the follower then
+// replays the log from sequence 0). It mirrors the checkpoint prefix of
+// Server.Recover exactly, including the byte-for-byte verification of
+// the rebuilt snapshot against the checkpointed one, and marks the
+// server ready. Must be called once, before any ApplyReplicated.
+func (s *Server) BootstrapFollower(c *wal.Checkpoint) error {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	if !s.cfg.Follower {
+		return fmt.Errorf("serve: BootstrapFollower on a non-follower server")
+	}
+	if s.ready.Load() {
+		return fmt.Errorf("serve: BootstrapFollower on a ready server")
+	}
+	if s.seq != 0 || s.steps.Load() != 0 {
+		return fmt.Errorf("serve: BootstrapFollower on a server that has already stepped")
+	}
+	if c != nil {
+		cr, ok := s.eng.(core.ClockRestorer)
+		if !ok {
+			return fmt.Errorf("serve: engine %s cannot restore its clock", s.eng.Name())
+		}
+		s.batchMu.Lock()
+		for _, e := range c.Edges {
+			s.batch.Edge(e.Edge, e.W)
+		}
+		for _, o := range c.Objects {
+			s.batch.Object(o.ID, o.Pos)
+		}
+		for _, q := range c.Queries {
+			s.batch.Query(roadknn.QueryID(q.ID), int(q.K), q.Pos)
+		}
+		u := s.batch.Drain()
+		s.batchMu.Unlock()
+		s.eng.Step(u)
+		cr.RestoreClock(c.Epoch, c.Stamp)
+		if got := s.eng.Snapshot().AppendBinary(nil); !bytes.Equal(got, c.Snapshot) {
+			return fmt.Errorf("serve: follower bootstrap diverged from the checkpointed snapshot "+
+				"(stamp %d): is this the network file the primary runs on?", c.Stamp)
+		}
+		s.seq = c.Stamp
+	}
+	s.broker.reset(s.eng.Snapshot())
+	s.ready.Store(true)
+	s.wake()
+	return nil
+}
+
+// ApplyReplicated replays one shipped batch record as a tick, exactly as
+// Recover replays a logged batch: Batcher→Step, then verification of the
+// record's tick (epoch, timestamp and snapshot CRC) before the result is
+// published, then the checkpoint-boundary Rebuild the primary performed
+// at the same sequence. A verification failure poisons the follower
+// (healthz turns 503, the router stops routing to it) — divergence must
+// never be served.
+func (s *Server) ApplyReplicated(b wal.BatchRecord) error {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	if !s.cfg.Follower {
+		return fmt.Errorf("serve: ApplyReplicated on a non-follower server")
+	}
+	if !s.ready.Load() {
+		return fmt.Errorf("serve: ApplyReplicated before BootstrapFollower")
+	}
+	if s.readOnly.Load() {
+		return fmt.Errorf("serve: follower is poisoned: %s", s.walErrString())
+	}
+	if b.Seq <= s.seq {
+		return nil // duplicate delivery: already applied
+	}
+	if b.Seq != s.seq+1 {
+		return fmt.Errorf("serve: replication gap: batch %d after sequence %d", b.Seq, s.seq)
+	}
+	s.batchMu.Lock()
+	s.batch.Replay(b.Updates)
+	u := s.batch.Drain()
+	s.batchMu.Unlock()
+	start := time.Now()
+	s.eng.Step(u)
+	s.stepNanos.Add(time.Since(start).Nanoseconds())
+	s.steps.Add(1)
+	s.seq = b.Seq
+	snap := s.eng.Snapshot()
+	if t := b.Tick; t != nil {
+		if snap.Epoch() != t.Epoch || snap.Timestamp() != t.Stamp {
+			err := fmt.Errorf("serve: replicated batch %d reached epoch %d/stamp %d, primary says %d/%d",
+				b.Seq, snap.Epoch(), snap.Timestamp(), t.Epoch, t.Stamp)
+			s.setReadOnly(err)
+			return err
+		}
+		if t.SnapCRC != 0 && snap.CRC32() != t.SnapCRC {
+			err := fmt.Errorf("serve: replicated batch %d produced snapshot crc %08x, primary says %08x",
+				b.Seq, snap.CRC32(), t.SnapCRC)
+			s.setReadOnly(err)
+			return err
+		}
+	}
+	s.broker.publish(snap)
+	if s.cfg.CheckpointEvery > 0 && b.Seq%uint64(s.cfg.CheckpointEvery) == 0 {
+		// The primary canonicalized (Rebuild) and published an extra epoch
+		// at this boundary; reproduce both so epochs stay aligned.
+		if rb, ok := s.eng.(core.Rebuilder); ok {
+			rb.Rebuild()
+			if after := s.eng.Snapshot(); after != snap {
+				s.broker.publish(after)
+			}
+		}
+	}
+	s.wake()
+	return nil
+}
+
+// AppliedSeq returns the follower's replication cursor: the highest
+// primary sequence applied so far.
+func (s *Server) AppliedSeq() uint64 {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	return s.seq
+}
+
+// walErrString returns the recorded failure cause (empty when healthy).
+func (s *Server) walErrString() string {
+	s.walErrMu.Lock()
+	defer s.walErrMu.Unlock()
+	return s.walErr
+}

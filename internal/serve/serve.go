@@ -26,9 +26,13 @@
 //	GET  /v1/stream    server-sent events: one snapshot per new epoch
 //	GET  /v1/delta     long-poll cursor advance: ?since=E answers with the
 //	                   per-epoch deltas E+1..newest, or a full-snapshot
-//	                   resync when the cursor lagged off the delta ring
+//	                   resync when the cursor lagged off the delta ring.
+//	                   Accept: application/x-roadknn-delta negotiates the
+//	                   binary frame stream (see deltawire.go)
 //	GET  /v1/deltas    server-sent events: one delta per published epoch
-//	                   ("resync" events re-seed the client when needed)
+//	                   ("resync" events re-seed the client when needed);
+//	                   the same Accept header negotiates a continuous
+//	                   binary frame stream instead of SSE
 //	GET  /v1/stats     runtime counters (epoch, steps, reads, timings, WAL)
 //	GET  /healthz      readiness probe: 503 while replaying the WAL or
 //	                   after a WAL failure degraded the server to
@@ -38,7 +42,10 @@
 // without it they still work but answer every advance with a resync.
 //
 // With Config.WAL set, the server is crash-safe: see the wal package and
-// Server.Recover for the durability and recovery protocol.
+// Server.Recover for the durability and recovery protocol. A durable
+// primary additionally serves the log-shipping endpoints under
+// /v1/replication/ that follower replicas (Config.Follower, driven by
+// internal/cluster) bootstrap and tail from; see replication.go.
 package serve
 
 import (
@@ -80,17 +87,43 @@ type Config struct {
 	// resynchronized from the full snapshot instead of replaying deltas.
 	DeltaRing int
 
+	// DeltaSendTimeout bounds one write to a delta subscriber (default
+	// 10s). A stalled SSE or binary-stream client that cannot absorb a
+	// frame within the deadline is evicted (connection closed, counted in
+	// /v1/stats delta.evicted) instead of pinning broker memory and a
+	// handler goroutine indefinitely.
+	DeltaSendTimeout time.Duration
+	// MaxResyncStrikes evicts a connected delta subscriber that needs a
+	// ring-lag resync this many consecutive times (default 3): a client
+	// that repeatedly falls off the DeltaRing cannot keep up, and pushing
+	// ever-larger full snapshots at it only makes it lag harder.
+	MaxResyncStrikes int
+
 	// WAL, when set, makes the server durable: every drained batch is
 	// appended to the log before the engine steps, the pending batch is
 	// flushed at Close, and the server starts not-ready (every endpoint
 	// but /v1/stats answers 503) until Recover has replayed the log. If
 	// an append exhausts its retries the server degrades to read-only:
 	// writes answer 503, reads keep serving the last published snapshot.
+	// With wal.SyncAlways the server additionally withholds publication
+	// of each tick until its log records are durable (group commit), so
+	// no client ever observes results a power cut could lose.
 	WAL *wal.Log
 	// CheckpointEvery writes a checkpoint (and rotates the log) every N
 	// ticks (0 = never). Checkpoint failures are recorded in /v1/stats
 	// and retried at the next interval; logging continues either way.
+	// On a follower it must match the primary's value: the checkpoint
+	// Rebuild bumps the epoch, so epoch alignment depends on both sides
+	// rebuilding at the same tick numbers.
 	CheckpointEvery int
+
+	// Follower puts the server in replica mode: it has no WAL of its own,
+	// rejects writes (the primary owns the update stream), starts
+	// not-ready until BootstrapFollower seeds it, and advances only
+	// through ApplyReplicated — the log-shipping path in internal/cluster
+	// feeds it the primary's sequenced batch/tick records. Reads serve
+	// from its own epoch-versioned snapshots exactly like a primary's.
+	Follower bool
 }
 
 // Server drives one engine and serves it over HTTP. Create with New,
@@ -166,6 +199,12 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 	if cfg.DeltaRing <= 0 {
 		cfg.DeltaRing = 64
 	}
+	if cfg.DeltaSendTimeout <= 0 {
+		cfg.DeltaSendTimeout = 10 * time.Second
+	}
+	if cfg.MaxResyncStrikes <= 0 {
+		cfg.MaxResyncStrikes = 3
+	}
 	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
@@ -179,8 +218,9 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 	s.broker.reset(eng.Snapshot())
 	// Without a WAL there is nothing to recover: the server is born ready.
 	// With one, Recover must run first (even over an empty log) so clients
-	// never observe the pre-replay engine.
-	s.ready.Store(cfg.WAL == nil)
+	// never observe the pre-replay engine. A follower is seeded by
+	// BootstrapFollower instead.
+	s.ready.Store(cfg.WAL == nil && !cfg.Follower)
 	return s
 }
 
@@ -269,7 +309,7 @@ func (s *Server) Close() {
 func (s *Server) Tick() *roadknn.Snapshot {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
-	if !s.ready.Load() || s.readOnly.Load() {
+	if s.cfg.Follower || !s.ready.Load() || s.readOnly.Load() {
 		return s.eng.Snapshot()
 	}
 	s.batchMu.Lock()
@@ -298,13 +338,27 @@ func (s *Server) Tick() *roadknn.Snapshot {
 	s.stepNanos.Add(time.Since(start).Nanoseconds())
 	s.steps.Add(1)
 	snap := s.eng.Snapshot()
-	s.broker.publish(snap)
+	// Under SyncAlways group commit the batch append deferred its fsync to
+	// the tick append below, so nothing may be externalized before the
+	// tick is durable: publication waits. Under tick/never the batch is
+	// already as durable as the policy promises, so publish immediately.
+	durableFirst := s.cfg.WAL != nil && s.cfg.WAL.Policy() == wal.SyncAlways
+	if !durableFirst {
+		s.broker.publish(snap)
+	}
 	if w := s.cfg.WAL; w != nil {
-		crc, _ := snap.CRC(nil)
-		if err := w.AppendTick(snap.Epoch(), snap.Timestamp(), crc); err != nil {
-			// The batch itself is durable; only the applied marker is lost.
-			// Recovery replays the batch without verification — correct,
-			// just unverified — but further writes must stop.
+		err := w.AppendTick(snap.Epoch(), snap.Timestamp(), snap.CRC32())
+		if durableFirst {
+			// Publish even on failure: the engine has stepped, the server is
+			// about to degrade to read-only, and readers polling the engine
+			// snapshot would see the epoch anyway — the broker must stay on
+			// the same chain.
+			s.broker.publish(snap)
+		}
+		if err != nil {
+			// With tick/never the batch itself is durable; only the applied
+			// marker is lost. Recovery replays the batch without verification
+			// — correct, just unverified — but further writes must stop.
 			s.setReadOnly(err)
 		} else if s.cfg.CheckpointEvery > 0 && s.seq%uint64(s.cfg.CheckpointEvery) == 0 {
 			s.checkpointLocked()
@@ -569,8 +623,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/deltas", s.whenReady(s.handleDeltas))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.WAL != nil && !s.cfg.Follower {
+		// Log-shipping endpoints for follower replicas (see replication.go).
+		mux.HandleFunc("GET /v1/replication/info", s.whenReady(s.handleReplicationInfo))
+		mux.HandleFunc("GET /v1/replication/checkpoint", s.whenReady(s.handleReplicationCheckpoint))
+		mux.HandleFunc("GET /v1/replication/log", s.whenReady(s.handleReplicationLog))
+	}
 	return mux
 }
+
+// epochHeader is the response header carrying the answering snapshot's
+// epoch on read endpoints; the cluster router uses it to track how far
+// each backend has advanced without extra polling.
+const epochHeader = "X-Roadknn-Epoch"
 
 // whenReady rejects requests with 503 until WAL recovery has finished:
 // the pre-replay engine holds intermediate states no client should see.
@@ -586,9 +651,14 @@ func (s *Server) whenReady(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // requireWritable rejects writes with 503 once a WAL failure has degraded
-// the server to read-only.
+// the server to read-only, and always on a follower (the primary owns the
+// update stream).
 func (s *Server) requireWritable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Follower {
+			http.Error(w, "follower replica: writes go to the primary", http.StatusServiceUnavailable)
+			return
+		}
 		if s.readOnly.Load() {
 			s.walErrMu.Lock()
 			cause := s.walErr
@@ -833,6 +903,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reads.Add(1)
+	w.Header().Set(epochHeader, strconv.FormatUint(snap.Epoch(), 10))
 	writeJSON(w, snapshotToJSON(snap))
 }
 
@@ -853,6 +924,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reads.Add(1)
+	w.Header().Set(epochHeader, strconv.FormatUint(snap.Epoch(), 10))
 	writeJSON(w, map[string]any{
 		"epoch":     snap.Epoch(),
 		"timestamp": snap.Timestamp(),
@@ -950,12 +1022,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // newer than E. Without ?since it bootstraps the client with a resync of
 // the current snapshot.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if wantsBinaryDelta(r) {
+		s.handleDeltaBinary(w, r)
+		return
+	}
 	q := r.URL.Query()
 	sinceStr := q.Get("since")
 	s.reads.Add(1)
 	if sinceStr == "" {
 		snap := s.eng.Snapshot()
 		sj := snapshotToJSON(snap)
+		w.Header().Set(epochHeader, strconv.FormatUint(snap.Epoch(), 10))
 		writeJSON(w, deltaPollJSON{Epoch: snap.Epoch(), Resync: &sj})
 		return
 	}
@@ -994,6 +1071,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		// itself instead of long-polling forever.
 		resp.Epoch = s.broker.epoch()
 	}
+	w.Header().Set(epochHeader, strconv.FormatUint(resp.Epoch, 10))
 	writeJSON(w, resp)
 }
 
@@ -1004,6 +1082,10 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 // client holding epoch E resumes with ?since=E; otherwise the stream opens
 // with a resync so the client has a base to apply deltas to.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	if wantsBinaryDelta(r) {
+		s.handleDeltasBinary(w, r)
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
@@ -1013,15 +1095,26 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	s.streamsActive.Add(1)
 	defer s.streamsActive.Add(-1)
+	rc := http.NewResponseController(w)
 	emit := func(event string, payload any) bool {
 		data, err := json.Marshal(payload)
 		if err != nil {
 			return false
 		}
 		s.reads.Add(1)
+		// A subscriber that cannot absorb this frame within the send
+		// deadline is evicted: the write errors out, the connection closes,
+		// and the broker's ring memory stops being pinned on its behalf.
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.DeltaSendTimeout))
 		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
-		fl.Flush()
-		return err == nil
+		if ferr := rc.Flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			s.broker.evicted.Add(1)
+			return false
+		}
+		return true
 	}
 	var last uint64
 	if qs := r.URL.Query().Get("since"); qs != "" {
@@ -1038,6 +1131,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		}
 		last = snap.Epoch()
 	}
+	strikes := 0
 	for {
 		deltas, resync := s.waitDelta(r.Context(), last, s.cfg.MaxWait)
 		if r.Context().Err() != nil {
@@ -1050,11 +1144,20 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		}
 		switch {
 		case resync != nil:
+			// A connected subscriber needing repeated resyncs keeps lagging
+			// off the DeltaRing faster than full snapshots can catch it up;
+			// after MaxResyncStrikes in a row it is evicted (reconnecting
+			// resets the strike count — by then it may have recovered).
+			if strikes++; strikes >= s.cfg.MaxResyncStrikes {
+				s.broker.evicted.Add(1)
+				return
+			}
 			if !emit("resync", snapshotToJSON(resync)) {
 				return
 			}
 			last = resync.Epoch()
 		case len(deltas) > 0:
+			strikes = 0
 			for _, d := range deltas {
 				if !emit("delta", deltaToJSON(d)) {
 					return
@@ -1075,11 +1178,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if steps > 0 {
 		avgMs = float64(s.stepNanos.Load()) / float64(steps) / 1e6
 	}
+	role := "primary"
+	if s.cfg.Follower {
+		role = "follower"
+	}
 	out := map[string]any{
-		"engine":         s.eng.Name(),
-		"epoch":          snap.Epoch(),
-		"timestamp":      snap.Timestamp(),
-		"queries":        snap.Len(),
+		"engine":    s.eng.Name(),
+		"role":      role,
+		"epoch":     snap.Epoch(),
+		"timestamp": snap.Timestamp(),
+		"queries":   snap.Len(),
+		// snapshot_crc is the IEEE CRC32 of the current snapshot's canonical
+		// encoding — the cross-process convergence check: a follower caught
+		// up to the primary's epoch must report the identical value.
+		"snapshot_crc":   snap.CRC32(),
 		"steps":          steps,
 		"avg_step_ms":    avgMs,
 		"ingested":       s.ingested.Load(),
@@ -1090,6 +1202,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"epoch":      s.broker.epoch(),
 			"deltas_out": s.broker.deltasOut.Load(),
 			"resyncs":    s.broker.resyncs.Load(),
+			"evicted":    s.broker.evicted.Load(),
 		},
 	}
 	if w2 := s.cfg.WAL; w2 != nil {

@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// This file is the log-shipping side of the WAL: a tailing reader over
+// the segment files plus an exported record codec, so a primary can
+// stream its sequenced batch/tick records to follower replicas over any
+// transport while reusing the exact on-disk framing (u32 len | u32 crc |
+// payload, CRC32-Castagnoli).
+
+// ReadSince returns the batch records with sequence > afterSeq currently
+// in the store, in order, with their tick markers attached where the
+// tick has been written. max > 0 caps the result count. A torn or
+// corrupt tail simply ends the read (the records before it are still
+// returned): tailers retry after the next append. Unlike recovery, no
+// truncation happens here — ReadSince never mutates the store.
+func (l *Log) ReadSince(afterSeq uint64, max int) ([]BatchRecord, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, l.err
+	}
+	names, err := l.fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var segStarts []uint64
+	for _, n := range names {
+		if s, ok := parseSegmentName(n); ok {
+			segStarts = append(segStarts, s)
+		}
+	}
+	sort.Slice(segStarts, func(i, j int) bool { return segStarts[i] < segStarts[j] })
+	// A segment covers [start, nextStart-1]: it is disposable when even
+	// its successor's range begins at or below afterSeq+1.
+	for len(segStarts) > 1 && segStarts[1] <= afterSeq+1 {
+		segStarts = segStarts[1:]
+	}
+
+	var out []BatchRecord
+	for _, start := range segStarts {
+		stop, err := l.tailSegment(segmentName(start), afterSeq, &out)
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			break
+		}
+		if max > 0 && len(out) >= max {
+			out = out[:max]
+			break
+		}
+	}
+	return out, nil
+}
+
+// tailSegment folds one segment's good-record prefix into out. Returns
+// stop=true when a torn/corrupt record ended the scan (later segments
+// must not be read — they would create a sequence gap).
+func (l *Log) tailSegment(name string, afterSeq uint64, out *[]BatchRecord) (stop bool, err error) {
+	r, err := l.fs.Open(name)
+	if err != nil {
+		return false, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return false, err
+	}
+	if len(data) < headerLen || string(data[:4]) != segMagic {
+		return true, nil
+	}
+
+	off := int64(headerLen)
+	size := int64(len(data))
+	for off < size {
+		if size-off < frameLen {
+			return true, nil // torn frame header
+		}
+		plen := int64(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		crc := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		if plen <= 0 || plen > maxRecordLen || off+frameLen+plen > size {
+			return true, nil
+		}
+		payload := data[off+frameLen : off+frameLen+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return true, nil
+		}
+		if err := tailRecord(payload, afterSeq, out); err != nil {
+			return false, err
+		}
+		off += frameLen + plen
+	}
+	return false, nil
+}
+
+// tailRecord folds one verified record into out, skipping batches at or
+// below the cursor and pending records (they are a shutdown artifact, not
+// part of the replicated stream).
+func tailRecord(payload []byte, afterSeq uint64, out *[]BatchRecord) error {
+	d := &decoder{buf: payload}
+	switch typ := d.byte(); typ {
+	case recBatch:
+		seq := d.u64()
+		u := d.updates()
+		if err := d.done(); err != nil {
+			return err
+		}
+		if seq > afterSeq {
+			*out = append(*out, BatchRecord{Seq: seq, Updates: u})
+		}
+	case recTick:
+		t := TickRecord{Epoch: d.u64(), Stamp: d.u64(), SnapCRC: d.u32()}
+		if err := d.done(); err != nil {
+			return err
+		}
+		if n := len(*out); n > 0 && (*out)[n-1].Seq == t.Stamp {
+			(*out)[n-1].Tick = &t
+		}
+	case recPending:
+		d.updates()
+		return d.done()
+	default:
+		return fmt.Errorf("wal: unknown record type %d", typ)
+	}
+	return nil
+}
+
+// EncodeRecords appends the framed wire form of recs to buf (the same
+// frame-and-CRC layout as the on-disk segments, minus the segment
+// header) and returns the extended slice. Each batch is followed by its
+// tick record when present.
+func EncodeRecords(buf []byte, recs []BatchRecord) []byte {
+	for i := range recs {
+		b := &recs[i]
+		buf = append(buf, encodeBatch(b.Seq, b.Updates)...)
+		if b.Tick != nil {
+			buf = append(buf, encodeTick(b.Tick.Epoch, b.Tick.Stamp, b.Tick.SnapCRC)...)
+		}
+	}
+	return buf
+}
+
+// DecodeRecords parses a framed record stream produced by EncodeRecords.
+// Unlike segment recovery, any torn frame or CRC mismatch is a hard
+// error: transports deliver byte streams intact or not at all, so
+// corruption here means a protocol bug, not a crash artifact.
+func DecodeRecords(data []byte) ([]BatchRecord, error) {
+	var out []BatchRecord
+	off := int64(0)
+	size := int64(len(data))
+	for off < size {
+		if size-off < frameLen {
+			return nil, fmt.Errorf("wal: truncated record frame at offset %d", off)
+		}
+		plen := int64(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		crc := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		if plen <= 0 || plen > maxRecordLen || off+frameLen+plen > size {
+			return nil, fmt.Errorf("wal: bad record length %d at offset %d", plen, off)
+		}
+		payload := data[off+frameLen : off+frameLen+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return nil, fmt.Errorf("wal: record CRC mismatch at offset %d", off)
+		}
+		if err := tailRecord(payload, 0, &out); err != nil {
+			return nil, err
+		}
+		off += frameLen + plen
+	}
+	return out, nil
+}
+
+// DecodeCheckpoint parses an encoded checkpoint image (as produced by
+// WriteCheckpoint and returned by CheckpointImage), verifying its magic,
+// version and CRC.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return decodeCheckpoint(data)
+}

@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,7 +20,12 @@ const (
 	// SyncTick fsyncs at tick boundaries, pending flushes and checkpoints:
 	// a crash loses at most the in-flight tick (default).
 	SyncTick SyncPolicy = iota
-	// SyncAlways fsyncs every record: no acknowledged batch is ever lost.
+	// SyncAlways group-commits: batch appends within a tick share the one
+	// fsync issued at the tick boundary, so high tick rates stop paying a
+	// separate fsync per batch. Durability matches SyncTick at the log
+	// level — the difference is upstream: the serving layer withholds
+	// publication of a tick's results until its records are durable, so
+	// nothing a client can observe is ever lost to a power cut.
 	SyncAlways
 	// SyncNever leaves flushing to the OS: fastest, survives process
 	// crashes (page cache persists) but not power cuts.
@@ -63,7 +69,10 @@ type Options struct {
 	RetryBase time.Duration
 	RetryMax  time.Duration
 	// KeepCheckpoints is how many checkpoints (and the segments they need)
-	// survive pruning (default 2).
+	// survive pruning (default 2). Segments are never pruned before this
+	// many checkpoints exist, so the log always stays replayable from the
+	// oldest kept checkpoint — a retention window of one full checkpoint
+	// interval that log-shipping followers tail within.
 	KeepCheckpoints int
 	// Sleep is a test seam for the backoff delay (default time.Sleep).
 	Sleep func(time.Duration)
@@ -104,6 +113,7 @@ type Log struct {
 	ckEpoch uint64
 	ckStamp uint64
 	err     error
+	appendc chan struct{} // closed+replaced after every successful append
 }
 
 func segmentName(startSeq uint64) string { return fmt.Sprintf("wal-%016d.log", startSeq) }
@@ -147,7 +157,7 @@ func Open(fs FS, opts Options) (*Log, *Recovery, error) {
 		return nil, nil, err
 	}
 
-	l := &Log{fs: fs, opts: opts, lastSeq: rec.lastSeq}
+	l := &Log{fs: fs, opts: opts, lastSeq: rec.lastSeq, appendc: make(chan struct{})}
 	if rec.Checkpoint != nil {
 		l.ckEpoch = rec.Checkpoint.Epoch
 		l.ckStamp = rec.Checkpoint.Stamp
@@ -244,24 +254,35 @@ func (l *Log) append(rec []byte, syncNow bool) error {
 
 // AppendBatch logs one drained per-tick batch under its sequence number
 // (the timestamp the engine will apply it at). It must be called before
-// the engine steps.
+// the engine steps. Batches are never fsync'd individually: under
+// SyncAlways the tick-boundary fsync in AppendTick covers them
+// (group commit) — a mid-tick power cut losing the batch is
+// indistinguishable from the tick never having happened, because the
+// serving layer does not publish results before the tick is durable.
 func (l *Log) AppendBatch(seq uint64, u core.Updates) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.append(encodeBatch(seq, u), l.opts.Sync == SyncAlways); err != nil {
+	if err := l.append(encodeBatch(seq, u), false); err != nil {
 		return err
 	}
 	l.lastSeq = seq
+	l.notifyAppend()
 	return nil
 }
 
 // AppendTick logs the post-step epoch/timestamp and result-snapshot CRC,
 // marking the preceding batch fully applied. snapCRC 0 disables replay
-// verification for this tick.
+// verification for this tick. Under SyncAlways and SyncTick its fsync is
+// the group-commit point covering every batch appended since the last
+// tick.
 func (l *Log) AppendTick(epoch, stamp uint64, snapCRC uint32) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.append(encodeTick(epoch, stamp, snapCRC), l.opts.Sync != SyncNever)
+	if err := l.append(encodeTick(epoch, stamp, snapCRC), l.opts.Sync != SyncNever); err != nil {
+		return err
+	}
+	l.notifyAppend()
+	return nil
 }
 
 // AppendPending logs a not-yet-drained batch at shutdown so queued updates
@@ -353,7 +374,13 @@ func (l *Log) prune() error {
 		}
 		ckpts = ckpts[:keep]
 	}
-	if len(ckpts) == 0 {
+	// Segments are pruned only against a full complement of kept
+	// checkpoints: until KeepCheckpoints exist, the implicit oldest
+	// recovery base is genesis and the whole log stays replayable. This
+	// is also the log-shipping retention window — a follower within one
+	// checkpoint interval of the primary can always tail contiguously;
+	// only one lagging further must re-bootstrap.
+	if len(ckpts) < keep {
 		return firstErr
 	}
 	oldest := ckpts[len(ckpts)-1]
@@ -420,6 +447,46 @@ func (l *Log) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err
+}
+
+// Policy returns the fsync policy the log was opened with.
+func (l *Log) Policy() SyncPolicy { return l.opts.Sync }
+
+// notifyAppend wakes Appended waiters. Callers hold l.mu.
+func (l *Log) notifyAppend() {
+	close(l.appendc)
+	l.appendc = make(chan struct{})
+}
+
+// Appended returns a channel closed at the next successful batch or tick
+// append — the wake-up signal for log tailers (call again after each
+// wake). The channel never carries values; only its closing matters.
+func (l *Log) Appended() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendc
+}
+
+// CheckpointImage returns the raw encoded bytes of the newest checkpoint
+// and its stamp, or (nil, 0, nil) when no checkpoint exists yet. The
+// image is self-verifying (DecodeCheckpoint re-checks its CRC), so it can
+// be shipped to a bootstrapping follower as-is.
+func (l *Log) CheckpointImage() ([]byte, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ckStamp == 0 {
+		return nil, 0, nil
+	}
+	r, err := l.fs.Open(checkpointName(l.ckStamp))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, l.ckStamp, nil
 }
 
 // SnapshotCRC is the checksum used in tick records, exposed so the

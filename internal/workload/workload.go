@@ -5,6 +5,8 @@
 package workload
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
@@ -83,6 +85,17 @@ type Config struct {
 	// that work belongs to the update producers — so the number isolates
 	// the server-side cost of POST /v1/updates.
 	Ingest string
+	// Followers, when > 0, runs that many in-process follower replicas
+	// for the whole run: each tails the primary's write-ahead log
+	// (WALFsync must be set; "never" isolates the replication cost) and
+	// replays every batch through its own identically-constructed engine
+	// — the same deterministic path the replicated serve tier ships over
+	// HTTP. Mean replication lag lands in Result.ReplLagMs, and with
+	// Readers > 0 the readers round-robin across the follower snapshots
+	// instead of the primary's, so ReadsPerSec reports the aggregate
+	// read rate of the replica fleet. Every follower's final snapshot is
+	// verified byte-identical to the primary's.
+	Followers int
 }
 
 // Default returns the paper's default setting (Table 2).
@@ -159,6 +172,12 @@ type Result struct {
 	// subscriber would transfer (0 without Config.Deltas).
 	DeltaBytesPerEpoch    float64
 	SnapshotBytesPerEpoch float64
+	// Followers / ReplLagMs report the replication measurement: how many
+	// follower replicas tailed the primary's log and the mean delay from
+	// a batch entering the primary's log to a follower having applied it
+	// (0 when the run had no followers).
+	Followers int
+	ReplLagMs float64
 }
 
 // BuildNetwork constructs the configured network.
@@ -179,6 +198,7 @@ type Runner struct {
 	cfg    Config
 	rng    *rand.Rand
 	engine core.Engine
+	mk     func(*roadnet.Network) core.Engine // rebuilds the engine for follower replicas
 	net    *roadnet.Network
 	qPos   []roadnet.Position
 	avgLen float64
@@ -197,6 +217,7 @@ func NewRunner(cfg Config, makeEngine func(*roadnet.Network) core.Engine) (*Runn
 		rng:    rng,
 		net:    net,
 		engine: makeEngine(net),
+		mk:     makeEngine,
 		avgLen: net.AvgEdgeLength(),
 	}
 
@@ -315,23 +336,93 @@ func (r *Runner) Run() Result {
 		defer wlog.Close()
 		res.WALFsync = r.cfg.WALFsync
 	}
+	// Follower replicas: identically-constructed engines that tail the
+	// primary's log concurrently with the stepping loop — the in-process
+	// twin of the replicated serve tier's log shipping. appendNanos[seq]
+	// is stamped before the batch enters the log, so the measured lag
+	// covers the full pipeline: append, wake, read, replay.
+	var fEngines []core.Engine
+	var fwg sync.WaitGroup
+	var lagNanos, lagApplied atomic.Int64
+	var fErr atomic.Value
+	var appendNanos []atomic.Int64
+	if r.cfg.Followers > 0 && r.cfg.Timestamps > 0 {
+		if wlog == nil {
+			panic("workload: Followers > 0 requires Config.WALFsync")
+		}
+		appendNanos = make([]atomic.Int64, r.cfg.Timestamps+1)
+		for i := 0; i < r.cfg.Followers; i++ {
+			rep, _ := NewRunner(r.cfg, r.mk)
+			fEngines = append(fEngines, rep.Engine())
+		}
+		res.Followers = r.cfg.Followers
+		last := uint64(r.cfg.Timestamps)
+		for _, eng := range fEngines {
+			eng := eng
+			fwg.Add(1)
+			go func() {
+				defer fwg.Done()
+				cursor := uint64(0)
+				for cursor < last {
+					// Grab the wake channel before reading: an append between
+					// the read and the wait would otherwise be missed.
+					ch := wlog.Appended()
+					recs, err := wlog.ReadSince(cursor, 64)
+					if err != nil {
+						fErr.Store(err.Error())
+						return
+					}
+					if len(recs) == 0 {
+						<-ch
+						continue
+					}
+					for _, rec := range recs {
+						eng.Step(rec.Updates)
+						if n := appendNanos[rec.Seq].Load(); n != 0 {
+							lagNanos.Add(time.Now().UnixNano() - n)
+							lagApplied.Add(1)
+						}
+						cursor = rec.Seq
+					}
+				}
+			}()
+		}
+	}
 	readers := r.cfg.Readers
 	var stopReaders func()
 	var reads atomic.Int64
 	wallStart := time.Now()
 	if readers > 0 {
-		if r.engine.Snapshot() == nil {
+		// With followers, reads are balanced across the replica fleet —
+		// the aggregate rate the replicated tier serves; without, they
+		// hammer the primary directly.
+		readSrc := []core.Engine{r.engine}
+		if len(fEngines) > 0 {
+			readSrc = fEngines
+		}
+		if readSrc[0].Snapshot() == nil {
 			panic("workload: Readers > 0 requires a serving engine (Config.Serving)")
 		}
 		stopc := make(chan struct{})
 		var wg sync.WaitGroup
 		for i := 0; i < readers; i++ {
 			wg.Add(1)
+			src := readSrc[i%len(readSrc)]
 			go func() {
 				defer wg.Done()
 				var local int64
 				var sink float64
+				// Read before polling stopc: on a loaded single core a short
+				// run can end before a reader is ever scheduled, and each
+				// reader must contribute at least one sample.
 				for {
+					snap := src.Snapshot()
+					for i := 0; i < snap.Len(); i++ {
+						if _, nns := snap.At(i); len(nns) > 0 {
+							sink += nns[0].Dist
+						}
+					}
+					local += int64(snap.Len())
 					select {
 					case <-stopc:
 						reads.Add(local)
@@ -339,13 +430,6 @@ func (r *Runner) Run() Result {
 						return
 					default:
 					}
-					snap := r.engine.Snapshot()
-					for i := 0; i < snap.Len(); i++ {
-						if _, nns := snap.At(i); len(nns) > 0 {
-							sink += nns[0].Dist
-						}
-					}
-					local += int64(snap.Len())
 				}
 			}()
 		}
@@ -356,7 +440,7 @@ func (r *Runner) Run() Result {
 	}
 
 	var sizeSum int
-	var allocs, bytes uint64
+	var allocs, allocBytes uint64
 	var msBefore, msAfter runtime.MemStats
 	var ingestBytes int64
 	var ingestSeconds float64
@@ -383,6 +467,9 @@ func (r *Runner) Run() Result {
 		}
 		start := time.Now()
 		if wlog != nil {
+			if appendNanos != nil {
+				appendNanos[ts+1].Store(time.Now().UnixNano())
+			}
 			// Same protocol as serve.Tick: the batch is durable before the
 			// engine applies it, and the applied marker follows the step.
 			if err := wlog.AppendBatch(uint64(ts+1), u); err != nil {
@@ -399,7 +486,7 @@ func (r *Runner) Run() Result {
 		if readers == 0 {
 			runtime.ReadMemStats(&msAfter)
 			allocs += msAfter.Mallocs - msBefore.Mallocs
-			bytes += msAfter.TotalAlloc - msBefore.TotalAlloc
+			allocBytes += msAfter.TotalAlloc - msBefore.TotalAlloc
 		}
 		if r.cfg.Deltas {
 			if snap := r.engine.Snapshot(); snap != nil {
@@ -416,6 +503,30 @@ func (r *Runner) Run() Result {
 		sizeSum += sz
 		if sz > res.MaxSizeBytes {
 			res.MaxSizeBytes = sz
+		}
+	}
+	if len(fEngines) > 0 {
+		// Followers drain the remaining log before the WAL closes; their
+		// final state must be byte-identical to the primary's — the same
+		// invariant the replicated serve tier verifies per tick.
+		fwg.Wait()
+		if msg, ok := fErr.Load().(string); ok {
+			panic("workload: follower tail: " + msg)
+		}
+		if n := lagApplied.Load(); n > 0 {
+			res.ReplLagMs = float64(lagNanos.Load()) / float64(n) / 1e6
+		}
+		if want := r.engine.Snapshot(); want != nil {
+			wb := want.AppendBinary(nil)
+			for i, eng := range fEngines {
+				fs := eng.Snapshot()
+				if fs == nil || !bytes.Equal(fs.AppendBinary(nil), wb) {
+					panic(fmt.Sprintf("workload: follower %d diverged from the primary", i))
+				}
+			}
+		}
+		for _, eng := range fEngines {
+			eng.Close()
 		}
 	}
 	if r.cfg.Ingest != "" && ingestSeconds > 0 {
@@ -450,7 +561,7 @@ func (r *Runner) Run() Result {
 		res.AvgStepSeconds = res.TotalSeconds / float64(res.Timestamps)
 		res.AvgSizeBytes = sizeSum / res.Timestamps
 		res.AvgStepAllocs = float64(allocs) / float64(res.Timestamps)
-		res.AvgStepBytes = float64(bytes) / float64(res.Timestamps)
+		res.AvgStepBytes = float64(allocBytes) / float64(res.Timestamps)
 	}
 	return res
 }

@@ -174,3 +174,30 @@ func TestIngestAndDeltaMeasurements(t *testing.T) {
 		t.Fatalf("measurements leaked into a plain run: %+v", res)
 	}
 }
+
+func TestFollowerReplicationMeasurements(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Serving = true
+	cfg.WALFsync = "never"
+	cfg.Followers = 2
+	cfg.Readers = 2 // balanced across the two follower snapshots
+	res := Run(cfg, func(n *roadnet.Network) core.Engine {
+		return core.NewIMAWith(n, core.Options{Workers: 1, Serving: true})
+	})
+	if res.Followers != 2 {
+		t.Fatalf("followers not recorded: %+v", res)
+	}
+	if res.ReplLagMs <= 0 {
+		t.Fatalf("replication lag not measured: %+v", res)
+	}
+	if res.Readers != 2 || res.ReadsPerSec <= 0 {
+		t.Fatalf("aggregate follower reads not measured: %+v", res)
+	}
+	// Run panics on divergence, so finishing at all proves every follower
+	// ended byte-identical to the primary.
+
+	res = Run(tinyConfig(), func(n *roadnet.Network) core.Engine { return core.NewIMA(n) })
+	if res.Followers != 0 || res.ReplLagMs != 0 {
+		t.Fatalf("replication fields leaked into a plain run: %+v", res)
+	}
+}
