@@ -29,26 +29,47 @@ func TestStepAllocationRegression(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		for _, engName := range []string{"IMA", "GMA"} {
 			t.Run(fmt.Sprintf("%s/workers=%d", engName, workers), func(t *testing.T) {
-				cfg := workload.Default().Scale(0.1)
-				cfg.Seed = 1
-				cfg.Workers = workers
-				r, _ := workload.NewRunner(cfg, experiments.EngineFor(engName, workers))
-				eng := r.Engine()
-				// Warm until edge object lists, per-monitor trees, router
-				// work lists and arena buffers reach steady state.
-				for i := 0; i < 15; i++ {
-					eng.Step(r.GenerateStep())
-				}
-				avg := testing.AllocsPerRun(20, func() {
-					eng.Step(r.GenerateStep())
-				})
-				t.Logf("%s workers=%d: %.1f allocs per warmed Step (ceiling %d)",
-					engName, workers, avg, ceiling)
-				if avg > ceiling {
-					t.Fatalf("%s workers=%d Step allocates %.1f times per call, above the regression ceiling %d",
-						engName, workers, avg, ceiling)
-				}
+				runAllocCheck(t, engName, workers, 0, ceiling)
 			})
 		}
+	}
+}
+
+// TestStepAllocationRegressionTopologyChurn repeats the guard with live
+// network editing in every step. A structural edit legitimately allocates
+// (CSR overlay rows, influence recomputation, freelist bookkeeping), but
+// the cost must stay churn-proportional: one edit per step should add a
+// bounded constant, never an O(V+E) rebuild's worth of allocations.
+func TestStepAllocationRegressionTopologyChurn(t *testing.T) {
+	const ceiling = 1200
+
+	for _, engName := range []string{"IMA", "GMA"} {
+		t.Run(engName, func(t *testing.T) {
+			// 0.001 over ~1000 edges floors at one topology edit per step.
+			runAllocCheck(t, engName, 1, 0.001, ceiling)
+		})
+	}
+}
+
+func runAllocCheck(t *testing.T, engName string, workers int, topoAgility float64, ceiling int) {
+	cfg := workload.Default().Scale(0.1)
+	cfg.Seed = 1
+	cfg.Workers = workers
+	cfg.TopoAgility = topoAgility
+	r, _ := workload.NewRunner(cfg, experiments.EngineFor(engName, workers))
+	eng := r.Engine()
+	// Warm until edge object lists, per-monitor trees, router
+	// work lists and arena buffers reach steady state.
+	for i := 0; i < 15; i++ {
+		eng.Step(r.GenerateStep())
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		eng.Step(r.GenerateStep())
+	})
+	t.Logf("%s workers=%d: %.1f allocs per warmed Step (ceiling %d)",
+		engName, workers, avg, ceiling)
+	if avg > float64(ceiling) {
+		t.Fatalf("%s workers=%d Step allocates %.1f times per call, above the regression ceiling %d",
+			engName, workers, avg, ceiling)
 	}
 }

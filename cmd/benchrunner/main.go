@@ -146,6 +146,9 @@ func main() {
 
 	for _, e := range toRun {
 		runExperiment(&e, *scale, *ts, csvFile, doc)
+		if e.ID == "top" {
+			runTopoMicro(&e, *seed, doc)
+		}
 	}
 
 	if doc != nil {
@@ -160,6 +163,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d results to %s\n", len(doc.Results), *jsonPath)
+	}
+}
+
+// runTopoMicro attaches the incremental-CSR micro measurement to the
+// "top" sweep: the cost of re-freezing after a single edge edit versus a
+// full recompaction, on the sweep's (largest) network. Both land in the
+// -json trajectory as pseudo-points of the sweep under engine "CSR".
+func runTopoMicro(e *experiments.Experiment, seed int64, doc *jsonDoc) {
+	edges := 0
+	for _, p := range e.Points {
+		if p.Cfg.Edges > edges {
+			edges = p.Cfg.Edges
+		}
+	}
+	m := experiments.TopoMicro(edges, seed)
+	fmt.Printf("   CSR micro (%d edges): cold compaction %.0f ns, single-edit re-freeze %.0f ns — %.1fx\n",
+		m.Edges, m.ColdNs, m.IncrementalNs, m.Speedup)
+	if doc == nil {
+		return
+	}
+	for _, row := range []struct {
+		point string
+		ns    float64
+	}{
+		{"cold", m.ColdNs},
+		{"incremental", m.IncrementalNs},
+	} {
+		doc.Results = append(doc.Results, jsonResult{
+			Exp:    e.ID,
+			Point:  row.point,
+			Engine: "CSR",
+			Metric: "cpu",
+			Unit:   "ns/freeze",
+			Value:  row.ns,
+		})
 	}
 }
 

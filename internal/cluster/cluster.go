@@ -136,9 +136,17 @@ func (f *Follower) Bootstrap() error {
 		f.mu.Unlock()
 		return nil
 	case http.StatusOK:
+		// The primary streams the image in chunks against a declared
+		// Content-Length; a transfer cut mid-stream yields a short read or
+		// a short body, both rejected here before anything is installed
+		// (DecodeCheckpoint additionally re-verifies the image's CRC).
 		img, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return err
+			return fmt.Errorf("cluster: torn checkpoint transfer: %w", err)
+		}
+		if resp.ContentLength >= 0 && int64(len(img)) != resp.ContentLength {
+			return fmt.Errorf("cluster: torn checkpoint transfer: got %d of %d bytes",
+				len(img), resp.ContentLength)
 		}
 		c, err := wal.DecodeCheckpoint(img)
 		if err != nil {

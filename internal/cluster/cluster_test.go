@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -186,7 +188,25 @@ func TestClusterDivergenceThreeFollowers(t *testing.T) {
 	live := map[int64]bool{}
 	var fJoin *Follower
 	for ts := 1; ts <= ticks; ts++ {
-		postJSON(t, hp.URL+"/v1/updates", churnBatch(rng, ts, live))
+		batch := churnBatch(rng, ts, live)
+		// Live network editing rides the same stream: edge 140 cycles
+		// through remove/re-add (the freelist reuses its id), fresh edges
+		// grow the id space, and object 90 parks on the reincarnated edge
+		// so the next removal exercises the engine-side re-snap through
+		// replication and the checkpoint-bootstrap path.
+		switch ts % 10 {
+		case 2:
+			batch["topology"] = []map[string]any{{"op": "remove", "edge": 140}}
+		case 3:
+			batch["topology"] = []map[string]any{{"op": "add", "u": 1, "v": 2, "w": 1.25}}
+		case 5:
+			batch["topology"] = []map[string]any{{"op": "add", "u": 3, "v": 5, "w": 2.5}}
+		case 7:
+			batch["objects"] = append(batch["objects"].([]map[string]any),
+				map[string]any{"id": int64(90), "edge": 140, "frac": 0.5})
+			live[90] = true
+		}
+		postJSON(t, hp.URL+"/v1/updates", batch)
 		postJSON(t, hp.URL+"/v1/tick", map[string]any{})
 		want := snapBytes(prim)
 
@@ -410,6 +430,77 @@ func TestRouterEpochConsistency(t *testing.T) {
 	}
 	if cl.Primary != hp.URL || len(cl.Followers) != 1 || !cl.Followers[0].Alive {
 		t.Fatalf("unexpected cluster view: %+v", cl)
+	}
+}
+
+// TestBootstrapTornCheckpointRejected cuts the chunked checkpoint
+// transfer mid-stream: the follower must reject the torn image before
+// installing anything, stay unseeded, and then bootstrap cleanly from
+// the healthy primary on retry.
+func TestBootstrapTornCheckpointRejected(t *testing.T) {
+	prim, hp := newPrimary(t, 150, 2)
+	rng := rand.New(rand.NewSource(11))
+	live := map[int64]bool{}
+	for ts := 1; ts <= 2; ts++ { // checkpoint lands at ts 2
+		postJSON(t, hp.URL+"/v1/updates", churnBatch(rng, ts, live))
+		postJSON(t, hp.URL+"/v1/tick", map[string]any{})
+	}
+
+	// A proxy that forwards everything, except it truncates the checkpoint
+	// body halfway under the full declared Content-Length and then kills
+	// the connection — a primary dying mid-transfer.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(hp.URL + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if r.URL.Path == "/v1/replication/checkpoint" && resp.StatusCode == http.StatusOK {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(body[:len(body)/2])
+			w.(http.Flusher).Flush()    // half the body reaches the wire...
+			panic(http.ErrAbortHandler) // ...then the connection dies
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+	}))
+	defer proxy.Close()
+
+	f, _ := newFollowerNode(t, 150, 2, proxy.URL)
+	err := f.Bootstrap()
+	if err == nil {
+		t.Fatal("bootstrap accepted a torn checkpoint")
+	}
+	if !strings.Contains(err.Error(), "torn checkpoint") {
+		t.Fatalf("torn transfer surfaced as %v, want a torn-checkpoint error", err)
+	}
+	if f.Server().Ready() {
+		t.Fatal("follower became ready from a torn checkpoint")
+	}
+
+	// The same unseeded server retries against the healthy primary.
+	f2 := NewFollower(f.Server(), FollowerConfig{Primary: hp.URL})
+	if err := f2.Bootstrap(); err != nil {
+		t.Fatalf("re-bootstrap: %v", err)
+	}
+	if got := f2.Cursor(); got != 2 {
+		t.Fatalf("re-bootstrap landed at cursor %d, want 2", got)
+	}
+	if got := snapBytes(f2.Server()); !bytes.Equal(got, snapBytes(prim)) {
+		t.Fatal("re-bootstrapped follower differs from primary")
 	}
 }
 

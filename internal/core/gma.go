@@ -303,6 +303,65 @@ func (e *GMA) nodePosition(n graph.NodeID) roadnet.Position {
 	return roadnet.Position{Edge: eid, Frac: 1}
 }
 
+// applyTopology applies one timestamp's edge edits and rebuilds the
+// group-level bookkeeping from scratch: a single edit can split, merge or
+// re-thread sequences network-wide (sequence ids shift wholesale), so GMA
+// redecomposes, deactivates every active node, and re-attaches and
+// re-evaluates every query against the new decomposition. The cost is
+// proportional to the query population, not the network — the sequence
+// redecomposition itself is the only full-network pass.
+func (e *GMA) applyTopology(topo []TopologyUpdate, affected map[QueryID]bool) {
+	g := e.net.G
+	applyTopologyOps(e.net, topo, nil)
+	g.Freeze()
+	e.inner.il.grow(g.NumEdges())
+
+	// Deactivate every active node (ascending id, so the monitor free-list
+	// state is replay-deterministic) and drop all query-side registrations.
+	nids := make([]QueryID, 0, len(e.inner.mons))
+	for id := range e.inner.mons {
+		nids = append(nids, id)
+	}
+	slices.Sort(nids)
+	for _, id := range nids {
+		e.inner.unregister(id)
+	}
+	for _, qs := range e.nodeQ {
+		clear(qs)
+	}
+	// Clear the query influence table in place: the per-edge maps (and the
+	// sequence arenas below) are reused, so a redecomposition allocates in
+	// proportion to the churn, not the network.
+	for i := range e.qIL {
+		clear(e.qIL[i])
+	}
+	for len(e.qIL) < g.NumEdges() {
+		e.qIL = append(e.qIL, nil)
+	}
+	e.seqs.Decompose(g)
+
+	// Re-snap queries stranded on removed edges (the objects' deterministic
+	// rule), then re-attach everything to the new sequences.
+	qids := make([]QueryID, 0, len(e.queries))
+	for id := range e.queries {
+		qids = append(qids, id)
+	}
+	slices.Sort(qids)
+	for _, id := range qids {
+		q := e.queries[id]
+		if !g.EdgeAlive(q.pos.Edge) {
+			np, ok := e.net.Resnap(q.pos)
+			if !ok {
+				panic("core: no live edge to re-snap a query onto")
+			}
+			q.pos = np
+		}
+		clear(q.affEdges) // the table side went with qIL
+		e.attach(q, affected)
+		affected[id] = true
+	}
+}
+
 // Step implements Engine, following Fig. 12: query insertions/deletions
 // update the active-node bookkeeping first; the inner IMA then maintains
 // the active-node NN sets; the queries affected by node changes, object
@@ -310,6 +369,12 @@ func (e *GMA) nodePosition(n graph.NodeID) roadnet.Position {
 func (e *GMA) Step(u Updates) {
 	affected := e.affected
 	clear(affected)
+
+	// Topology edits invalidate the sequence decomposition itself; apply
+	// them and rebuild the group bookkeeping before anything else.
+	if len(u.Topology) > 0 {
+		e.applyTopology(u.Topology, affected)
+	}
 
 	// Lines 1-4: Qins/Qdel (a movement is a deletion plus an insertion).
 	for _, qu := range u.Queries {
@@ -338,8 +403,9 @@ func (e *GMA) Step(u Updates) {
 		}
 	}
 
-	// Line 5: maintain active-node results with IMA.
-	changedNodes := e.inner.step(u.Objects, u.Edges, nil)
+	// Line 5: maintain active-node results with IMA. Topology was already
+	// applied by the group-level phase above, so none is passed down.
+	changedNodes := e.inner.step(nil, u.Objects, u.Edges, nil)
 
 	// Lines 7-8: queries influenced by changed active nodes.
 	for nid := range changedNodes {

@@ -22,6 +22,14 @@ func newILTable(numEdges int) *ilTable {
 	return &ilTable{byEdge: make([][]QueryID, numEdges)}
 }
 
+// grow extends the table to cover numEdges edge ids (live topology editing
+// appends ids; tombstoned ids keep their — eventually emptied — rows).
+func (t *ilTable) grow(numEdges int) {
+	for len(t.byEdge) < numEdges {
+		t.byEdge = append(t.byEdge, nil)
+	}
+}
+
 func (t *ilTable) add(e graph.EdgeID, q QueryID) {
 	t.byEdge[e] = append(t.byEdge[e], q)
 }

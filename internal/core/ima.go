@@ -49,7 +49,9 @@ func (e *IMA) Unregister(id QueryID) {
 }
 
 // Step implements Engine. Query terminations are handled before any other
-// update and new installations after all updates, per §4.5.
+// update and new installations after all updates, per §4.5; topology edits
+// apply first inside the set's step, routed through the influence lists
+// like every other update kind.
 func (e *IMA) Step(u Updates) {
 	var moves []queryMove
 	var inserts []QueryUpdate
@@ -63,7 +65,7 @@ func (e *IMA) Step(u Updates) {
 			moves = append(moves, queryMove{id: qu.ID, pos: qu.New})
 		}
 	}
-	e.set.step(u.Objects, u.Edges, moves)
+	e.set.step(u.Topology, u.Objects, u.Edges, moves)
 	for _, qu := range inserts {
 		e.set.register(qu.ID, qu.New, qu.K)
 	}

@@ -55,6 +55,10 @@ type monitorSet struct {
 	incBuf       []edgeChange
 	changeBuf    []edgeChange
 
+	// topoMoves buffers the object re-snaps of a topology phase, reused
+	// across steps.
+	topoMoves []roadnet.ObjectMove
+
 	// free recycles unregistered monitors, trees/candidate sets and all:
 	// GMA's active-node layer churns registrations on every query move, and
 	// a pooled monitor re-expands without a single allocation.
@@ -148,27 +152,99 @@ type queryMove struct {
 	pos roadnet.Position
 }
 
-// step processes one timestamp of object updates, edge updates and query
-// moves in the order mandated by §4.5: out-of-tree moves first (full
-// recomputation, all other updates for them ignored), then edge weight
-// decreases, then increases, then in-tree query moves, then object
-// updates, and finally the per-query finalize. It returns the set of
-// queries whose results changed; the returned map is reused by the next
-// step call.
+// applyTopology applies one timestamp's edge edits to the shared network
+// and flags every monitor whose result can depend on them for a
+// from-scratch recomputation. It always runs serially, before any routing
+// or sharding: edits restructure the CSR adjacency, which every later
+// phase reads. mark registers a monitor as affected in the caller's
+// pipeline (the serial affected set or the parallel router). The returned
+// re-snap moves must be classified as incoming object moves by the caller.
+//
+// Routing is influence-list-based, like every other update kind. A removal
+// can only change results whose influence region touches the removed edge —
+// exactly its influence list. An insertion (U, V) can only change a result
+// if a path through the new edge enters the query's region, which requires
+// network distance to U or V below kNN_dist; any such query has influence
+// registrations on the existing edges incident to that endpoint, so the
+// union of those lists covers all candidates.
+func (s *monitorSet) applyTopology(topo []TopologyUpdate, mark func(QueryID)) []roadnet.ObjectMove {
+	g := s.net.G
+	recompute := func(q QueryID) {
+		if m, ok := s.mons[q]; ok {
+			m.needRecompute = true
+			mark(q)
+		}
+	}
+	moves := s.topoMoves[:0]
+	for i := range topo {
+		// Earlier ops in this batch may have appended edge ids; the incident
+		// lists read below can already contain them.
+		s.il.grow(g.NumEdges())
+		switch topo[i].Op {
+		case TopoRemove:
+			// Mark while the edge's influence list is still populated.
+			s.forInfluenced(topo[i].Edge, recompute)
+		case TopoAdd:
+			// Mark through the pre-insertion incident lists of the new
+			// endpoints (ForEachIncident reads through the pending overlay
+			// without forcing a merge mid-batch).
+			g.ForEachIncident(topo[i].U, func(eid graph.EdgeID) { s.forInfluenced(eid, recompute) })
+			g.ForEachIncident(topo[i].V, func(eid graph.EdgeID) { s.forInfluenced(eid, recompute) })
+		}
+		moves = applyTopologyOps(s.net, topo[i:i+1], moves)
+	}
+	s.topoMoves = moves
+	s.il.grow(g.NumEdges())
+	// Merge the patches now, in the serial phase, so the parallel shards —
+	// and every later traversal — see a clean frozen CSR.
+	g.Freeze()
+	// Queries sitting on a removed edge re-snap onto the nearest live
+	// position, by the same deterministic rule as the edge's resident
+	// objects, and recompute from there.
+	for q, m := range s.mons {
+		if !g.EdgeAlive(m.pos.Edge) {
+			np, ok := s.net.Resnap(m.pos)
+			if !ok {
+				panic("core: no live edge to re-snap a query onto")
+			}
+			m.pos = np
+			recompute(q)
+		}
+	}
+	return moves
+}
+
+// step processes one timestamp of topology edits, object updates, edge
+// updates and query moves in the order mandated by §4.5 (topology first,
+// then out-of-tree moves — full recomputation, all other updates for them
+// ignored — then edge weight decreases, then increases, then in-tree query
+// moves, then object updates, and finally the per-query finalize). It
+// returns the set of queries whose results changed; the returned map is
+// reused by the next step call.
 //
 // With workers > 1 the per-monitor work runs on the sharded parallel
 // pipeline (parallel.go), which produces identical results.
-func (s *monitorSet) step(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
+func (s *monitorSet) step(topo []TopologyUpdate, objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
 	if s.workers > 1 && len(s.mons) > 1 {
-		return s.stepParallel(objs, edges, moves)
+		return s.stepParallel(topo, objs, edges, moves)
 	}
-	return s.stepSerial(objs, edges, moves)
+	return s.stepSerial(topo, objs, edges, moves)
 }
 
-func (s *monitorSet) stepSerial(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
+func (s *monitorSet) stepSerial(topo []TopologyUpdate, objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
 	sc := s.arena(0)
 	affected := s.affected
 	clear(affected)
+
+	// Topology edits restructure the adjacency itself; they apply first.
+	// The re-snapped objects need no outgoing marks — every query that
+	// could hold an object of a removed edge is in that edge's influence
+	// list and already recomputes from scratch — and classify as incomers
+	// after the edge phase, below.
+	var topoMoves []roadnet.ObjectMove
+	if len(topo) > 0 {
+		topoMoves = s.applyTopology(topo, func(q QueryID) { affected[q] = true })
+	}
 
 	// Fig. 10 lines 1-3: queries moving outside their expansion tree are
 	// recomputed from scratch; flag them before any pruning so the later
@@ -191,6 +267,13 @@ func (s *monitorSet) stepSerial(objs []ObjectUpdate, edges []EdgeUpdate, moves [
 
 	// Lines 4-13: edge updates, decreases strictly before increases.
 	s.applyEdgeUpdates(edges, affected, sc)
+
+	// Topology re-snaps classify as incomers at their new positions, with
+	// the timestamp's weights already applied — the same point at which the
+	// parallel pipeline's shards replay them.
+	for _, mv := range topoMoves {
+		s.markIncoming(mv.ID, mv.New, affected)
+	}
 
 	// Lines 14-15: in-tree query moves, re-rooting the valid subtree. The
 	// covers test is repeated because edge pruning may have invalidated
@@ -238,6 +321,9 @@ func (s *monitorSet) classifyEdgeUpdates(edges []EdgeUpdate) []edgeChange {
 	clear(agg)
 	order := s.aggOrder[:0]
 	for _, eu := range edges {
+		if !s.net.G.EdgeAlive(eu.Edge) {
+			continue // edge removed earlier this timestamp; stale sensor report
+		}
 		if _, seen := agg[eu.Edge]; !seen {
 			order = append(order, eu.Edge)
 		}

@@ -90,9 +90,35 @@ func (e *OVH) unregister(id QueryID) {
 	}
 }
 
+// applyTopology applies one timestamp's edge edits. OVH recomputes every
+// query from scratch each Step, so beyond the network mutation itself only
+// the influence table's edge range and the positions of queries stranded on
+// removed edges need attention.
+func (e *OVH) applyTopology(topo []TopologyUpdate) {
+	g := e.net.G
+	applyTopologyOps(e.net, topo, nil)
+	g.Freeze()
+	e.il.grow(g.NumEdges())
+	for _, m := range e.mons {
+		if !g.EdgeAlive(m.pos.Edge) {
+			np, ok := e.net.Resnap(m.pos)
+			if !ok {
+				panic("core: no live edge to re-snap a query onto")
+			}
+			m.pos = np
+		}
+	}
+}
+
 // Step implements Engine.
 func (e *OVH) Step(u Updates) {
+	if len(u.Topology) > 0 {
+		e.applyTopology(u.Topology)
+	}
 	for _, eu := range u.Edges {
+		if !e.net.G.EdgeAlive(eu.Edge) {
+			continue // edge removed this timestamp; stale sensor report
+		}
 		e.net.G.SetWeight(eu.Edge, eu.NewW)
 	}
 	for _, ou := range u.Objects {

@@ -161,9 +161,18 @@ func (r *stepRouter) sortByID() {
 
 // stepParallel is the parallel counterpart of monitorSet.stepSerial: same
 // update semantics, per-monitor work fanned out over the worker pool.
-func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
+func (s *monitorSet) stepParallel(topo []TopologyUpdate, objs []ObjectUpdate, edges []EdgeUpdate, moves []queryMove) map[QueryID]bool {
 	r := &s.router
 	r.reset()
+
+	// Topology edits apply first, serially (they restructure the CSR the
+	// shards traverse); the flagged monitors recompute from scratch in
+	// their shards, and the re-snapped objects route as incomers after the
+	// edge phase, mirroring stepSerial.
+	var topoMoves []roadnet.ObjectMove
+	if len(topo) > 0 {
+		topoMoves = s.applyTopology(topo, func(q QueryID) { r.work(q).pre = true })
+	}
 
 	// Route stage. Order mirrors stepSerial exactly.
 	//
@@ -199,6 +208,13 @@ func (s *monitorSet) stepParallel(objs []ObjectUpdate, edges []EdgeUpdate, moves
 			w := r.work(q)
 			w.ops = append(w.ops, monOp{kind: kind, edge: ec.eid, oldW: ec.oldW, newW: ec.newW})
 		})
+	}
+
+	// Topology re-snaps route as incomers at their new positions, after the
+	// edge ops (their shard replay therefore sees the timestamp's weights,
+	// exactly like stepSerial's immediate evaluation at this point).
+	for _, mv := range topoMoves {
+		s.routeIncoming(mv.ID, mv.New, r)
 	}
 
 	// Lines 14-15: in-tree query moves, queued after the edge ops.

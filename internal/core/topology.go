@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"roadknn/internal/graph"
+	"roadknn/internal/roadnet"
+)
+
+// applyTopologyOps applies one timestamp's edge edits to net in batch order,
+// cross-checking the deterministic id assignment of insertions, and appends
+// to moves the object re-snaps performed by removals (in application order;
+// each removal's moves are sorted by object id). All three engines funnel
+// their topology phase through this helper so the network-level effects —
+// edge set, freelist state, re-snap targets — are identical across engines
+// and across replays.
+func applyTopologyOps(net *roadnet.Network, topo []TopologyUpdate, moves []roadnet.ObjectMove) []roadnet.ObjectMove {
+	for _, op := range topo {
+		switch op.Op {
+		case TopoRemove:
+			moves = append(moves, net.RemoveEdge(op.Edge)...)
+		case TopoAdd:
+			id := net.AddEdge(op.U, op.V, op.W)
+			if op.Edge != graph.NoEdge && id != op.Edge {
+				panic(fmt.Sprintf("core: topology insertion assigned edge %d, expected %d", id, op.Edge))
+			}
+		default:
+			panic(fmt.Sprintf("core: unknown topology op %d", op.Op))
+		}
+	}
+	return moves
+}

@@ -50,11 +50,41 @@ type EdgeUpdate struct {
 	NewW float64
 }
 
+// TopologyOp discriminates live network edits.
+type TopologyOp uint8
+
+const (
+	// TopoAdd inserts a new edge between two existing nodes.
+	TopoAdd TopologyOp = iota
+	// TopoRemove tombstones an existing edge.
+	TopoRemove
+)
+
+// TopologyUpdate reports a live network edit (road opened or closed). Edits
+// are applied in batch order, before every other update kind of the
+// timestamp. Removing an edge re-snaps its resident objects — and any query
+// positioned on it — onto the nearest live edge (deterministically: the
+// spatial index tie-breaks on edge id).
+//
+// Edge ids are assigned deterministically (the most recently tombstoned id
+// is reused first), so a replayed sequence of edits reproduces the exact id
+// assignment of the original run. On TopoAdd, Edge optionally records the
+// id the insertion is expected to receive — engines panic on a mismatch,
+// turning replay divergence into a loud failure — or graph.NoEdge to skip
+// the check.
+type TopologyUpdate struct {
+	Op   TopologyOp
+	Edge graph.EdgeID // Remove: the edge to drop; Add: expected id or graph.NoEdge
+	U, V graph.NodeID // Add: the endpoints (existing nodes)
+	W    float64      // Add: the initial travel cost
+}
+
 // Updates is the batch of events arriving at one timestamp.
 type Updates struct {
-	Objects []ObjectUpdate
-	Queries []QueryUpdate
-	Edges   []EdgeUpdate
+	Topology []TopologyUpdate
+	Objects  []ObjectUpdate
+	Queries  []QueryUpdate
+	Edges    []EdgeUpdate
 }
 
 // Engine is a continuous k-NN monitoring algorithm. Implementations own

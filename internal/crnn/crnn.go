@@ -162,16 +162,74 @@ type EdgeUpdate struct {
 	NewW float64
 }
 
+// TopologyOp discriminates live network edits, mirroring core's protocol.
+type TopologyOp uint8
+
+const (
+	// TopoAdd inserts a new edge between two existing nodes.
+	TopoAdd TopologyOp = iota
+	// TopoRemove tombstones an existing edge.
+	TopoRemove
+)
+
+// TopologyUpdate reports a live network edit. On TopoAdd, Edge optionally
+// records the deterministically assigned id the insertion must receive
+// (graph.NoEdge skips the check); on TopoRemove it names the edge to drop.
+type TopologyUpdate struct {
+	Op   TopologyOp
+	Edge graph.EdgeID
+	U, V graph.NodeID
+	W    float64
+}
+
 // Updates is one timestamp's batch.
 type Updates struct {
-	Objects []ObjectUpdate
-	Queries []QueryUpdate
-	Edges   []EdgeUpdate
+	Topology []TopologyUpdate
+	Objects  []ObjectUpdate
+	Queries  []QueryUpdate
+	Edges    []EdgeUpdate
+}
+
+// applyTopology applies edge edits in batch order. The monitor rebuilds the
+// whole Voronoi assignment every Step, so beyond the network mutation only
+// queries stranded on removed edges need re-snapping (objects re-snap inside
+// roadnet.RemoveEdge).
+func (m *Monitor) applyTopology(topo []TopologyUpdate) {
+	g := m.net.G
+	for _, op := range topo {
+		switch op.Op {
+		case TopoRemove:
+			m.net.RemoveEdge(op.Edge)
+		case TopoAdd:
+			id := m.net.AddEdge(op.U, op.V, op.W)
+			if op.Edge != graph.NoEdge && id != op.Edge {
+				panic(fmt.Sprintf("crnn: topology insertion assigned edge %d, expected %d", id, op.Edge))
+			}
+		default:
+			panic(fmt.Sprintf("crnn: unknown topology op %d", op.Op))
+		}
+	}
+	g.Freeze()
+	for id, pos := range m.queries {
+		if !g.EdgeAlive(pos.Edge) {
+			np, ok := m.net.Resnap(pos)
+			if !ok {
+				panic("crnn: no live edge to re-snap a query onto")
+			}
+			m.queries[id] = np
+		}
+	}
 }
 
 // Step applies one timestamp of updates and rebuilds the reverse-NN sets.
 func (m *Monitor) Step(u Updates) {
+	if len(u.Topology) > 0 {
+		m.applyTopology(u.Topology)
+	}
 	for _, eu := range u.Edges {
+		if !m.net.G.EdgeAlive(eu.Edge) {
+			continue // edge removed this timestamp; stale sensor report
+		}
 		m.net.G.SetWeight(eu.Edge, eu.NewW)
 	}
 	for _, ou := range u.Objects {
@@ -318,6 +376,9 @@ func (m *Monitor) Refresh() {
 // assignOn appends the assignments of every object on edge eid to out,
 // reading only the frozen labeling and query table.
 func (m *Monitor) assignOn(eid graph.EdgeID, out []objAssign) []objAssign {
+	if !m.net.G.EdgeAlive(eid) {
+		return out // tombstoned id: no residents, no same-edge queries
+	}
 	e := m.net.G.Edge(eid)
 	for _, oe := range m.net.ObjectsOn(eid) {
 		pos := roadnet.Position{Edge: eid, Frac: oe.Frac}

@@ -6,9 +6,12 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
+	"time"
 
 	"roadknn/internal/core"
 	"roadknn/internal/gen"
+	"roadknn/internal/graph"
 	"roadknn/internal/roadnet"
 	"roadknn/internal/workload"
 )
@@ -459,6 +462,27 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		exps = append(exps, e)
 	}
 
+	// Topology T1: live network editing — per-step cost vs topology agility
+	// (not a paper figure; supports the ROADMAP's incremental-CSR goal).
+	// f_top edges are structurally edited per timestamp on top of the
+	// default churn; the cost of the edits must track the edit count, not
+	// the network size, because the frozen CSR is patched row-by-row
+	// instead of recompacted. The companion micro measurement (TopoMicro,
+	// emitted by benchrunner with this sweep) pins the patch-vs-recompact
+	// ratio itself.
+	{
+		e := Experiment{
+			ID: "top", Title: "Topology: churn-proportional live network editing",
+			Param: "f_top", Metric: CPU, Engines: allEngines,
+			Shape: "per-step cost grows with the edit count, not the network size; the single-edit re-freeze stays >=10x below a cold compaction",
+		}
+		for _, f := range []float64{0, 0.0005, 0.002, 0.01} {
+			f := f
+			e.Points = append(e.Points, Point{fmt.Sprintf("%g%%", f*100), mk(func(c *workload.Config) { c.TopoAgility = f })})
+		}
+		exps = append(exps, e)
+	}
+
 	// Ablation A1: value of influence-list filtering (DESIGN.md §7).
 	{
 		e := Experiment{
@@ -488,6 +512,57 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 	}
 
 	return exps
+}
+
+// TopoMicroResult is the incremental-CSR micro measurement attached to
+// the "top" sweep: the per-call cost of re-freezing the CSR adjacency
+// after a single edge edit versus recompacting it from scratch.
+type TopoMicroResult struct {
+	Edges         int     `json:"edges"`
+	ColdNs        float64 `json:"cold_ns"`        // full recompaction (Compact) per call
+	IncrementalNs float64 `json:"incremental_ns"` // single-edit overlay merge (Freeze) per call
+	Speedup       float64 `json:"speedup"`
+}
+
+// TopoMicro measures the patch-vs-recompact ratio on a SanFranciscoLike
+// network with the given edge count: a loop of single-edge remove/re-add
+// cycles, each followed by Freeze (which merges the one-op overlay into
+// the frozen CSR), against repeated Compact calls (the full O(V+E)
+// rebuild a non-incremental design would pay per edit).
+func TopoMicro(edges int, seed int64) TopoMicroResult {
+	g := gen.SanFranciscoLike(edges, seed)
+	g.Freeze()
+	rng := rand.New(rand.NewSource(seed + 31))
+
+	cycle := func(eid graph.EdgeID) {
+		e := g.Edge(eid)
+		u, v, w := e.U, e.V, e.W
+		g.RemoveEdge(eid)
+		g.Freeze()
+		g.AddEdge(u, v, w) // the freelist hands eid straight back
+		g.Freeze()
+	}
+	pick := func() graph.EdgeID { return graph.EdgeID(rng.Intn(g.NumEdges())) }
+
+	const edits = 256
+	for i := 0; i < 16; i++ { // steady-state: warm the merge scratch
+		cycle(pick())
+	}
+	start := time.Now()
+	for i := 0; i < edits; i++ {
+		cycle(pick())
+	}
+	inc := float64(time.Since(start).Nanoseconds()) / float64(2*edits)
+
+	const colds = 32
+	start = time.Now()
+	for i := 0; i < colds; i++ {
+		g.Compact()
+	}
+	cold := float64(time.Since(start).Nanoseconds()) / float64(colds)
+	return TopoMicroResult{
+		Edges: g.NumEdges(), ColdNs: cold, IncrementalNs: inc, Speedup: cold / inc,
+	}
 }
 
 // ByID returns the experiment with the given id, or nil.

@@ -14,9 +14,9 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	}
 	// +2 ablation experiments, +1 worker-scalability sweep, +1 concurrent-
 	// readers serving sweep, +1 WAL fsync-policy sweep, +1 ingestion/delta
-	// sweep, +1 replication sweep
-	if len(exps) != len(want)+7 {
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+7)
+	// sweep, +1 replication sweep, +1 topology-churn sweep
+	if len(exps) != len(want)+8 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+8)
 	}
 	sw := ByID(exps, "sw")
 	if sw == nil {
@@ -55,6 +55,18 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	for i, p := range rep.Points {
 		if p.Cfg.Followers < 1 || p.Cfg.WALFsync == "" || !p.Cfg.Serving || p.Cfg.Readers < 1 {
 			t.Fatalf("rep point %d not configured for replication: %+v", i, p.Cfg)
+		}
+	}
+	top := ByID(exps, "top")
+	if top == nil {
+		t.Fatal("missing topology-churn sweep")
+	}
+	if top.Points[0].Cfg.TopoAgility != 0 {
+		t.Fatalf("top baseline point edits the network: %+v", top.Points[0].Cfg)
+	}
+	for _, p := range top.Points[1:] {
+		if p.Cfg.TopoAgility <= 0 {
+			t.Fatalf("top point %s has no topology churn", p.Label)
 		}
 	}
 	ing := ByID(exps, "ing")
@@ -110,6 +122,25 @@ func TestBrinkhoffFiguresConfigured(t *testing.T) {
 				t.Fatalf("%s point %s not using the Brinkhoff/Oldenburg setup", id, p.Label)
 			}
 		}
+	}
+}
+
+// TestTopoMicroIncrementalWins is the CI-scale version of the perf claim
+// behind the "top" sweep: re-freezing after one edit must be dramatically
+// cheaper than a cold compaction. The committed BENCH trajectory carries
+// the full-size >=10x evidence; here a modest threshold avoids timer
+// flake on loaded runners while still catching any regression to O(V+E)
+// per edit.
+func TestTopoMicroIncrementalWins(t *testing.T) {
+	m := TopoMicro(10000, 1)
+	if m.Edges < 10000 {
+		t.Fatalf("generator produced %d edges, want >= 10000", m.Edges)
+	}
+	if m.IncrementalNs <= 0 || m.ColdNs <= 0 {
+		t.Fatalf("timings not measured: %+v", m)
+	}
+	if m.Speedup < 5 {
+		t.Fatalf("single-edit re-freeze only %.1fx cheaper than cold compaction, want >= 5x", m.Speedup)
 	}
 }
 

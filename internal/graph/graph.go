@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"roadknn/internal/geom"
 	"roadknn/internal/pqueue"
@@ -18,7 +19,10 @@ import (
 // NodeID identifies a node. IDs are dense indices assigned by AddNode.
 type NodeID int32
 
-// EdgeID identifies an edge. IDs are dense indices assigned by AddEdge.
+// EdgeID identifies an edge. IDs are dense indices assigned by AddEdge;
+// removing an edge tombstones its id, and the id is reused (LIFO) by a
+// later AddEdge so the id space — and every edge-indexed array above the
+// graph — stays dense under topology churn.
 type EdgeID int32
 
 // NoNode is the sentinel for "no node" (e.g. the root of a shortest-path tree).
@@ -67,92 +71,257 @@ func (e *Edge) HasEndpoint(n NodeID) bool { return n == e.U || n == e.V }
 // Adjacency lives in one of two physical layouts. While the graph is being
 // built (AddNode/AddEdge), a slice-of-slices builder holds per-node edge
 // lists. Freeze compacts them into a CSR (compressed sparse row) layout —
-// one flat []EdgeID plus per-node offsets — which halves pointer chasing on
-// the traversal hot path and keeps every Incident call a contiguous slice
-// of one shared array. Traversal accessors freeze lazily, and mutating the
-// topology after a freeze transparently thaws back to the builder, so the
-// builder API is unchanged; only SetWeight is layout-independent.
+// one flat []EdgeID plus per-node offset/length pairs — which halves
+// pointer chasing on the traversal hot path and keeps every Incident call a
+// contiguous slice of one shared array.
+//
+// Topology mutations on a frozen graph do NOT thaw it back. They
+// accumulate in a small delta overlay — tombstone flags for removed edges,
+// a pending-insert list, and the set of touched nodes — that overlay-aware
+// traversal (ForEachIncident, Dijkstra) consults on the fly. The next
+// Freeze merges the overlay in place: only the touched nodes' rows are
+// recompacted (shrinks rewrite in place, growths relocate to the tail of
+// the shared array), so the cost is proportional to the churn, not the
+// graph. Full recompaction happens only when relocation gaps exceed the
+// live volume, keeping the amortized cost churn-proportional too.
+//
+// Every frozen row is sorted ascending by EdgeID. This canonical order
+// makes traversal order — and therefore every engine result downstream —
+// a function of the logical edge set alone, independent of the physical
+// history of patches, which is what lets WAL replay and replication
+// reproduce byte-identical state from a different freeze schedule.
 //
 // Concurrent readers (the engines' parallel shard workers) must not race
-// with the lazy freeze: construct the graph fully and call Freeze (or wrap
-// it in roadnet.NewNetwork, which does) before sharing it.
+// with the lazy freeze: apply mutations and call Freeze (or wrap the graph
+// in roadnet.NewNetwork, which freezes) before sharing it.
 type Graph struct {
 	nodes []Node
 	edges []Edge
 	adj   [][]EdgeID // builder adjacency; nil while frozen
 
 	// CSR adjacency, authoritative while frozen: the edges incident to
-	// node n are csrAdj[csrOff[n]:csrOff[n+1]].
-	csrOff []int32
-	csrAdj []EdgeID
-	frozen bool
+	// node n are csrAdj[csrOff[n] : csrOff[n]+csrLen[n]]. Rows may be
+	// separated by relocation gaps; csrLive counts live entries.
+	csrOff  []int32
+	csrLen  []int32
+	csrAdj  []EdgeID
+	csrLive int
+	frozen  bool
+
+	// Delta overlay, populated by mutations on a frozen graph and drained
+	// by the next Freeze.
+	dead      []bool   // tombstones, indexed by EdgeID
+	free      []EdgeID // LIFO freelist of tombstoned ids
+	pendAdd   []EdgeID // edges inserted since the last freeze
+	pendStamp []uint32 // pendStamp[e] == pendEpoch ⇔ e ∈ pendAdd
+	pendEpoch uint32
+	dirty     []NodeID // nodes whose rows the overlay touches
+	dirtySet  []bool
+
+	// Reusable merge scratch (steady-state patching allocates nothing).
+	scratchRow []EdgeID
+	scratchNE  []nodeEdge
+}
+
+type nodeEdge struct {
+	n NodeID
+	e EdgeID
 }
 
 // New returns an empty graph with capacity hints.
 func New(nodeHint, edgeHint int) *Graph {
 	return &Graph{
-		nodes: make([]Node, 0, nodeHint),
-		edges: make([]Edge, 0, edgeHint),
-		adj:   make([][]EdgeID, 0, nodeHint),
+		nodes:     make([]Node, 0, nodeHint),
+		edges:     make([]Edge, 0, edgeHint),
+		adj:       make([][]EdgeID, 0, nodeHint),
+		pendEpoch: 1,
 	}
 }
 
-// Freeze compacts the adjacency into the CSR layout. It is idempotent and
-// cheap to call on an already-frozen graph; topology mutations thaw the
-// graph back automatically.
+// Overlay reports whether un-merged topology mutations are pending (the
+// next Freeze has work to do).
+func (g *Graph) Overlay() bool { return len(g.dirty) > 0 }
+
+// Freeze compacts the adjacency into the CSR layout. On a freshly built
+// graph it performs the full O(V+E) compaction once; afterwards it merges
+// the delta overlay incrementally, touching only the rows of mutated
+// nodes. It is idempotent and O(1) when nothing is pending.
 func (g *Graph) Freeze() {
 	if g.frozen {
+		if len(g.dirty) > 0 {
+			g.mergeOverlay()
+		}
 		return
 	}
-	if cap(g.csrOff) < len(g.nodes)+1 {
-		g.csrOff = make([]int32, len(g.nodes)+1)
+	g.coldFreeze()
+}
+
+// coldFreeze performs the initial full compaction from the builder layout.
+func (g *Graph) coldFreeze() {
+	n := len(g.nodes)
+	if cap(g.csrOff) < n {
+		g.csrOff = make([]int32, n)
+		g.csrLen = make([]int32, n)
 	} else {
-		g.csrOff = g.csrOff[:len(g.nodes)+1]
+		g.csrOff = g.csrOff[:n]
+		g.csrLen = g.csrLen[:n]
 	}
-	if cap(g.csrAdj) < 2*len(g.edges) {
-		g.csrAdj = make([]EdgeID, 2*len(g.edges))
+	live := 0
+	for i := range g.adj {
+		live += len(g.adj[i])
+	}
+	if cap(g.csrAdj) < live {
+		g.csrAdj = make([]EdgeID, live)
 	} else {
-		g.csrAdj = g.csrAdj[:2*len(g.edges)]
+		g.csrAdj = g.csrAdj[:live]
 	}
 	off := int32(0)
-	for n := range g.nodes {
-		g.csrOff[n] = off
-		off += int32(copy(g.csrAdj[off:], g.adj[n]))
+	for i := range g.nodes {
+		row := g.csrAdj[off : int(off)+len(g.adj[i])]
+		copy(row, g.adj[i])
+		// Canonical invariant: frozen rows ascend by EdgeID. Builder rows
+		// already do unless freelist reuse interleaved; sorting a sorted
+		// row is near-free.
+		sortRow(row)
+		g.csrOff[i] = off
+		g.csrLen[i] = int32(len(row))
+		off += int32(len(row))
 	}
-	g.csrOff[len(g.nodes)] = off
-	g.csrAdj = g.csrAdj[:off]
+	g.csrLive = live
 	g.adj = nil
 	g.frozen = true
+	g.clearOverlay()
 }
 
-// thaw rebuilds the builder adjacency from the CSR layout so topology
-// mutations can proceed.
-func (g *Graph) thaw() {
-	if !g.frozen {
-		return
-	}
-	g.adj = make([][]EdgeID, len(g.nodes))
-	for n := range g.nodes {
-		row := g.csrAdj[g.csrOff[n]:g.csrOff[n+1]]
-		if len(row) > 0 {
-			g.adj[n] = append([]EdgeID(nil), row...)
+// mergeOverlay is the incremental freeze: a single pass over the touched
+// nodes, rewriting only their rows.
+func (g *Graph) mergeOverlay() {
+	// Deterministic merge order (and therefore deterministic physical
+	// layout for a given mutation sequence).
+	sort.Slice(g.dirty, func(i, j int) bool { return g.dirty[i] < g.dirty[j] })
+
+	// Group pending inserts by endpoint so each touched node finds its
+	// additions by binary search instead of rescanning the whole list.
+	ne := g.scratchNE[:0]
+	for _, e := range g.pendAdd {
+		if g.dead[e] {
+			continue
 		}
+		ne = append(ne, nodeEdge{g.edges[e].U, e}, nodeEdge{g.edges[e].V, e})
 	}
-	g.frozen = false
+	sort.Slice(ne, func(i, j int) bool {
+		if ne[i].n != ne[j].n {
+			return ne[i].n < ne[j].n
+		}
+		return ne[i].e < ne[j].e
+	})
+	g.scratchNE = ne
+
+	for _, n := range g.dirty {
+		if !g.dirtySet[n] {
+			continue // AddNode marked it twice, or already handled
+		}
+		g.dirtySet[n] = false
+		old := g.csrAdj[g.csrOff[n] : g.csrOff[n]+g.csrLen[n]]
+		merged := g.scratchRow[:0]
+		for _, e := range old {
+			// Tombstoned entries drop out; id reuse can also re-point an
+			// edge at different endpoints, or re-insert it pending — both
+			// are filtered here and re-merged from the pending list below.
+			if g.dead[e] || !g.edges[e].HasEndpoint(n) || g.pendStamp[e] == g.pendEpoch {
+				continue
+			}
+			merged = append(merged, e)
+		}
+		// Pending inserts incident to n, already id-sorted within the group.
+		lo := sort.Search(len(ne), func(i int) bool { return ne[i].n >= n })
+		for i := lo; i < len(ne) && ne[i].n == n; i++ {
+			merged = append(merged, ne[i].e)
+		}
+		sortRow(merged)
+		g.scratchRow = merged
+
+		oldLen := int(g.csrLen[n])
+		if len(merged) <= oldLen {
+			copy(g.csrAdj[g.csrOff[n]:], merged)
+		} else {
+			// Row grew: relocate it to the tail, leaving a gap behind.
+			g.csrOff[n] = int32(len(g.csrAdj))
+			g.csrAdj = append(g.csrAdj, merged...)
+		}
+		g.csrLen[n] = int32(len(merged))
+		g.csrLive += len(merged) - oldLen
+	}
+	g.dirty = g.dirty[:0]
+	g.pendAdd = g.pendAdd[:0]
+	g.pendEpoch++
+
+	// Amortized bound on relocation gaps: when dead space exceeds the live
+	// volume, recompact everything once.
+	if len(g.csrAdj) > 2*g.csrLive+64 {
+		g.Compact()
+	}
 }
 
-// AddNode inserts a node at pt and returns its id.
+// Compact rewrites the CSR arrays tightly (no relocation gaps), preserving
+// the canonical row order. Freeze calls it automatically when accumulated
+// gaps exceed the live volume; it is exported for benchmarks that want to
+// compare a full recompaction against the incremental merge.
+func (g *Graph) Compact() {
+	g.Freeze()
+	tight := make([]EdgeID, 0, g.csrLive)
+	for i := range g.nodes {
+		row := g.csrAdj[g.csrOff[i] : g.csrOff[i]+g.csrLen[i]]
+		g.csrOff[i] = int32(len(tight))
+		tight = append(tight, row...)
+	}
+	g.csrAdj = tight
+}
+
+// clearOverlay resets the overlay bookkeeping (rows are merged).
+func (g *Graph) clearOverlay() {
+	for _, n := range g.dirty {
+		g.dirtySet[n] = false
+	}
+	g.dirty = g.dirty[:0]
+	g.pendAdd = g.pendAdd[:0]
+	g.pendEpoch++
+}
+
+func (g *Graph) markDirty(n NodeID) {
+	if int(n) >= len(g.dirtySet) {
+		grown := make([]bool, len(g.nodes))
+		copy(grown, g.dirtySet)
+		g.dirtySet = grown
+	}
+	if !g.dirtySet[n] {
+		g.dirtySet[n] = true
+		g.dirty = append(g.dirty, n)
+	}
+}
+
+// AddNode inserts a node at pt and returns its id. It works in both
+// layouts: on a frozen graph the new node starts with an empty row.
 func (g *Graph) AddNode(pt geom.Point) NodeID {
-	g.thaw()
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Pt: pt})
-	g.adj = append(g.adj, nil)
+	if g.frozen {
+		g.csrOff = append(g.csrOff, int32(len(g.csrAdj)))
+		g.csrLen = append(g.csrLen, 0)
+		g.dirtySet = append(g.dirtySet, false)
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	return id
 }
 
 // AddEdge inserts a bidirectional edge between u and v with weight w and
 // returns its id. The geometric length is the Euclidean distance between
 // the endpoints. It panics on invalid endpoints or non-positive weight.
+//
+// On a frozen graph the insert lands in the delta overlay (visible to
+// ForEachIncident/Dijkstra immediately) and is merged into the CSR rows by
+// the next Freeze; the id of the most recently removed edge is reused.
 func (g *Graph) AddEdge(u, v NodeID, w float64) EdgeID {
 	return g.addEdge(u, v, w, false)
 }
@@ -163,7 +332,6 @@ func (g *Graph) AddDirectedEdge(u, v NodeID, w float64) EdgeID {
 }
 
 func (g *Graph) addEdge(u, v NodeID, w float64, directed bool) EdgeID {
-	g.thaw()
 	if !g.validNode(u) || !g.validNode(v) {
 		panic(fmt.Sprintf("graph: AddEdge with invalid endpoint %d-%d", u, v))
 	}
@@ -173,15 +341,74 @@ func (g *Graph) addEdge(u, v NodeID, w float64, directed bool) EdgeID {
 	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		panic(fmt.Sprintf("graph: AddEdge with invalid weight %g", w))
 	}
-	id := EdgeID(len(g.edges))
-	g.edges = append(g.edges, Edge{
+	var id EdgeID
+	if n := len(g.free); n > 0 {
+		id = g.free[n-1]
+		g.free = g.free[:n-1]
+		g.dead[id] = false
+	} else {
+		id = EdgeID(len(g.edges))
+		g.edges = append(g.edges, Edge{})
+		g.dead = append(g.dead, false)
+		g.pendStamp = append(g.pendStamp, 0)
+	}
+	g.edges[id] = Edge{
 		ID: id, U: u, V: v, W: w,
 		Length:   g.nodes[u].Pt.Dist(g.nodes[v].Pt),
 		Directed: directed,
-	})
-	g.adj[u] = append(g.adj[u], id)
-	g.adj[v] = append(g.adj[v], id)
+	}
+	if g.frozen {
+		g.pendAdd = append(g.pendAdd, id)
+		g.pendStamp[id] = g.pendEpoch
+		g.markDirty(u)
+		g.markDirty(v)
+	} else {
+		g.adj[u] = append(g.adj[u], id)
+		g.adj[v] = append(g.adj[v], id)
+	}
 	return id
+}
+
+// RemoveEdge tombstones edge id: traversal stops seeing it immediately,
+// the next Freeze drops it from its endpoints' rows, and the id is reused
+// by the next AddEdge. Geometry of the tombstoned edge (Edge, Segment)
+// stays readable until the id is reused, so callers can re-snap entities
+// that lived on it. Removing an invalid or already-removed edge panics.
+func (g *Graph) RemoveEdge(id EdgeID) {
+	if id < 0 || int(id) >= len(g.edges) || g.dead[id] {
+		panic(fmt.Sprintf("graph: RemoveEdge of invalid or removed edge %d", id))
+	}
+	e := &g.edges[id]
+	if g.frozen {
+		if g.pendStamp[id] == g.pendEpoch {
+			// Inserted and removed within one overlay window: cancel the
+			// pending insert so a reuse of the id cannot duplicate it.
+			for i, p := range g.pendAdd {
+				if p == id {
+					g.pendAdd = append(g.pendAdd[:i], g.pendAdd[i+1:]...)
+					break
+				}
+			}
+			g.pendStamp[id] = 0
+		}
+		g.markDirty(e.U)
+		g.markDirty(e.V)
+	} else {
+		removeFromRow(&g.adj[e.U], id)
+		removeFromRow(&g.adj[e.V], id)
+	}
+	g.dead[id] = true
+	g.free = append(g.free, id)
+}
+
+func removeFromRow(row *[]EdgeID, id EdgeID) {
+	r := *row
+	for i, e := range r {
+		if e == id {
+			*row = append(r[:i], r[i+1:]...)
+			return
+		}
+	}
 }
 
 func (g *Graph) validNode(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes) }
@@ -189,37 +416,100 @@ func (g *Graph) validNode(n NodeID) bool { return n >= 0 && int(n) < len(g.nodes
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
-// NumEdges returns the number of edges.
+// NumEdges returns the size of the edge id space, including tombstoned
+// ids awaiting reuse — the bound callers size edge-indexed arrays by.
 func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumLiveEdges returns the number of live (non-tombstoned) edges.
+func (g *Graph) NumLiveEdges() int { return len(g.edges) - len(g.free) }
+
+// FreeEdgeIDs returns a copy of the tombstone freelist in stack order (the
+// last element is the id the next AddEdge will reuse). Callers that predict
+// future id assignment — the serving layer's ingestion validator — seed
+// their simulation from it.
+func (g *Graph) FreeEdgeIDs() []EdgeID { return append([]EdgeID(nil), g.free...) }
+
+// EdgeAlive reports whether id names a live edge.
+func (g *Graph) EdgeAlive(id EdgeID) bool {
+	return id >= 0 && int(id) < len(g.edges) && !g.dead[id]
+}
+
+// ForEachEdge calls fn for every live edge in ascending id order.
+func (g *Graph) ForEachEdge(fn func(*Edge)) {
+	for i := range g.edges {
+		if !g.dead[i] {
+			fn(&g.edges[i])
+		}
+	}
+}
 
 // Node returns the node with the given id.
 func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
 
-// Edge returns the edge with the given id.
+// Edge returns the edge with the given id. Tombstoned edges remain
+// readable until their id is reused.
 func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
 
-// Incident returns the ids of edges incident to n. The returned slice is
-// owned by the graph, must not be modified, and is invalidated by topology
-// mutations. Calling it freezes the graph into the CSR layout.
+// Incident returns the ids of edges incident to n, ascending. The returned
+// slice is owned by the graph, must not be modified, and is invalidated by
+// topology mutations. Calling it freezes the graph (merging any pending
+// overlay) so the result is always one contiguous slice.
 func (g *Graph) Incident(n NodeID) []EdgeID {
-	if !g.frozen {
+	if !g.frozen || len(g.dirty) > 0 {
 		g.Freeze()
 	}
-	return g.csrAdj[g.csrOff[n]:g.csrOff[n+1]]
+	return g.csrAdj[g.csrOff[n] : g.csrOff[n]+g.csrLen[n]]
 }
 
-// Degree returns the number of edges incident to n.
+// ForEachIncident calls fn for every live edge incident to n. Unlike
+// Incident it never freezes: on a graph with pending overlay mutations it
+// merges the CSR row with the overlay on the fly (CSR ∪ overlay), so
+// traversal between mutation and freeze sees the patched topology.
+func (g *Graph) ForEachIncident(n NodeID, fn func(EdgeID)) {
+	if !g.frozen {
+		for _, e := range g.adj[n] {
+			fn(e)
+		}
+		return
+	}
+	row := g.csrAdj[g.csrOff[n] : g.csrOff[n]+g.csrLen[n]]
+	if len(g.dirty) == 0 {
+		for _, e := range row {
+			fn(e)
+		}
+		return
+	}
+	for _, e := range row {
+		if g.dead[e] || !g.edges[e].HasEndpoint(n) || g.pendStamp[e] == g.pendEpoch {
+			continue
+		}
+		fn(e)
+	}
+	for _, e := range g.pendAdd {
+		if !g.dead[e] && g.edges[e].HasEndpoint(n) {
+			fn(e)
+		}
+	}
+}
+
+// Degree returns the number of live edges incident to n. Like Incident it
+// freezes (merging any pending overlay) first.
 func (g *Graph) Degree(n NodeID) int {
-	if !g.frozen {
+	if !g.frozen || len(g.dirty) > 0 {
 		g.Freeze()
 	}
-	return int(g.csrOff[n+1] - g.csrOff[n])
+	return int(g.csrLen[n])
 }
 
-// SetWeight updates the weight of edge id. It panics on invalid weights.
+// SetWeight updates the weight of edge id. It panics on invalid weights or
+// a tombstoned edge. Weights are not part of the CSR layout, so this never
+// touches the overlay.
 func (g *Graph) SetWeight(id EdgeID, w float64) {
 	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		panic(fmt.Sprintf("graph: SetWeight with invalid weight %g", w))
+	}
+	if g.dead[id] {
+		panic(fmt.Sprintf("graph: SetWeight on removed edge %d", id))
 	}
 	g.edges[id].W = w
 }
@@ -247,9 +537,16 @@ func (g *Graph) Bounds() geom.Rect {
 }
 
 // Validate checks structural invariants (endpoint validity, adjacency
-// consistency, positive weights) and returns the first violation found.
+// consistency, positive weights, tombstone bookkeeping) and returns the
+// first violation found.
 func (g *Graph) Validate() error {
+	if len(g.free) != g.deadCount() {
+		return fmt.Errorf("freelist holds %d ids but %d edges are tombstoned", len(g.free), g.deadCount())
+	}
 	for i := range g.edges {
+		if g.dead[i] {
+			continue
+		}
 		e := &g.edges[i]
 		if !g.validNode(e.U) || !g.validNode(e.V) {
 			return fmt.Errorf("edge %d has invalid endpoint", e.ID)
@@ -262,16 +559,34 @@ func (g *Graph) Validate() error {
 		}
 	}
 	for n := range g.nodes {
+		prev := NoEdge
 		for _, id := range g.Incident(NodeID(n)) {
 			if id < 0 || int(id) >= len(g.edges) {
 				return fmt.Errorf("node %d lists invalid edge %d", n, id)
 			}
+			if g.dead[id] {
+				return fmt.Errorf("node %d lists tombstoned edge %d", n, id)
+			}
 			if !g.edges[id].HasEndpoint(NodeID(n)) {
 				return fmt.Errorf("node %d lists non-incident edge %d", n, id)
 			}
+			if g.frozen && id <= prev {
+				return fmt.Errorf("node %d row not ascending at edge %d", n, id)
+			}
+			prev = id
 		}
 	}
 	return nil
+}
+
+func (g *Graph) deadCount() int {
+	n := 0
+	for _, d := range g.dead {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 func containsEdge(ids []EdgeID, id EdgeID) bool {
@@ -283,6 +598,16 @@ func containsEdge(ids []EdgeID, id EdgeID) bool {
 	return false
 }
 
+// sortRow sorts a (usually tiny, usually already sorted) adjacency row
+// ascending by EdgeID without allocating.
+func sortRow(row []EdgeID) {
+	for i := 1; i < len(row); i++ {
+		for j := i; j > 0 && row[j] < row[j-1]; j-- {
+			row[j], row[j-1] = row[j-1], row[j]
+		}
+	}
+}
+
 // ConnectedComponents returns the component index of every node and the
 // number of components, treating all edges as bidirectional.
 func (g *Graph) ConnectedComponents() ([]int, int) {
@@ -291,7 +616,15 @@ func (g *Graph) ConnectedComponents() ([]int, int) {
 		comp[i] = -1
 	}
 	var stack []NodeID
+	var u NodeID
 	n := 0
+	visit := func(eid EdgeID) {
+		v := g.edges[eid].Other(u)
+		if comp[v] == -1 {
+			comp[v] = n
+			stack = append(stack, v)
+		}
+	}
 	for start := range g.nodes {
 		if comp[start] != -1 {
 			continue
@@ -299,15 +632,9 @@ func (g *Graph) ConnectedComponents() ([]int, int) {
 		stack = append(stack[:0], NodeID(start))
 		comp[start] = n
 		for len(stack) > 0 {
-			u := stack[len(stack)-1]
+			u = stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, eid := range g.Incident(u) {
-				v := g.edges[eid].Other(u)
-				if comp[v] == -1 {
-					comp[v] = n
-					stack = append(stack, v)
-				}
-			}
+			g.ForEachIncident(u, visit)
 		}
 		n++
 	}
@@ -318,6 +645,9 @@ func (g *Graph) ConnectedComponents() ([]int, int) {
 // with the given initial distances, to all nodes within maxDist. Distances
 // for unreachable nodes (or nodes beyond maxDist) are +Inf. Pass
 // math.Inf(1) as maxDist for an unbounded search.
+//
+// The traversal consults the delta overlay (CSR ∪ overlay), so it is
+// correct between a topology mutation and the next Freeze.
 //
 // The returned parent slice gives the predecessor node on a shortest path
 // (NoNode for sources and unreached nodes).
@@ -339,28 +669,31 @@ func (g *Graph) Dijkstra(sources []NodeID, seed []float64, maxDist float64) (dis
 			q.Push(int32(s), d)
 		}
 	}
+	var u NodeID
+	var du float64
+	relax := func(eid EdgeID) {
+		e := &g.edges[eid]
+		if e.Directed && e.U != u {
+			return
+		}
+		v := e.Other(u)
+		nd := du + e.W
+		if nd <= maxDist && nd < dist[v] {
+			dist[v] = nd
+			parent[v] = u
+			q.Push(int32(v), nd)
+		}
+	}
 	for q.Len() > 0 {
-		ui, du, _ := q.PopMin()
-		u := NodeID(ui)
+		ui, d, _ := q.PopMin()
+		u, du = NodeID(ui), d
 		if du > dist[u] {
 			continue
 		}
 		if du > maxDist {
 			break
 		}
-		for _, eid := range g.Incident(u) {
-			e := &g.edges[eid]
-			if e.Directed && e.U != u {
-				continue
-			}
-			v := e.Other(u)
-			nd := du + e.W
-			if nd <= maxDist && nd < dist[v] {
-				dist[v] = nd
-				parent[v] = u
-				q.Push(int32(v), nd)
-			}
-		}
+		g.ForEachIncident(u, relax)
 	}
 	return dist, parent
 }

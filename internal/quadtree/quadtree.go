@@ -122,6 +122,37 @@ func (t *Tree) split(n *node) {
 	n.children = &ch
 }
 
+// Remove deletes segment id from the index. Removing an unknown id panics:
+// the caller (the road network) owns the edge lifecycle, so an unknown id
+// indicates a bookkeeping bug. Leaves are not re-merged — the PMR structure
+// only ever splits — but the freed slots are reused by later insertions.
+func (t *Tree) Remove(id int32) {
+	s, ok := t.segs[id]
+	if !ok {
+		panic("quadtree: Remove of unknown segment id")
+	}
+	delete(t.segs, id)
+	t.remove(t.root, id, s)
+}
+
+func (t *Tree) remove(n *node, id int32, s geom.Segment) {
+	if n.children != nil {
+		for _, c := range n.children {
+			if s.IntersectsRect(c.rect) {
+				t.remove(c, id, s)
+			}
+		}
+		return
+	}
+	for i, x := range n.items {
+		if x == id {
+			n.items[i] = n.items[len(n.items)-1]
+			n.items = n.items[:len(n.items)-1]
+			return
+		}
+	}
+}
+
 // Candidates returns the ids stored in the leaf quad covering p. Points
 // outside the tree bounds yield nil. The returned slice is owned by the
 // tree and must not be modified.

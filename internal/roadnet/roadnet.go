@@ -9,6 +9,7 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"roadknn/internal/geom"
 	"roadknn/internal/graph"
@@ -47,7 +48,8 @@ type ObjectEntry struct {
 
 // NewNetwork wraps g with a spatial index and empty object registry.
 // The graph should be fully constructed (nodes and edges) before wrapping;
-// edges added later are not indexed.
+// use AddEdge/RemoveEdge on the network for live topology editing so the
+// spatial index and per-edge object lists stay consistent.
 func NewNetwork(g *graph.Graph) *Network {
 	// Compact the adjacency into the CSR layout now, before the graph is
 	// shared with the engines' parallel shard workers (the lazy freeze
@@ -56,7 +58,9 @@ func NewNetwork(g *graph.Graph) *Network {
 	b := g.Bounds().Expand(1e-9)
 	si := quadtree.New(b)
 	for i := 0; i < g.NumEdges(); i++ {
-		si.Insert(int32(i), g.Segment(graph.EdgeID(i)))
+		if g.EdgeAlive(graph.EdgeID(i)) {
+			si.Insert(int32(i), g.Segment(graph.EdgeID(i)))
+		}
 	}
 	return &Network{
 		G:       g,
@@ -64,6 +68,65 @@ func NewNetwork(g *graph.Graph) *Network {
 		objPos:  make(map[ObjectID]Position),
 		edgeObj: make([][]ObjectEntry, g.NumEdges()),
 	}
+}
+
+// AddEdge inserts a live edge between u and v (reusing the most recently
+// tombstoned id, if any) and indexes its segment. The per-edge object list
+// for a reused id must already be empty: residents of the removed
+// predecessor are re-snapped by RemoveEdge before the id can be reused.
+func (n *Network) AddEdge(u, v graph.NodeID, w float64) graph.EdgeID {
+	id := n.G.AddEdge(u, v, w)
+	if int(id) == len(n.edgeObj) {
+		n.edgeObj = append(n.edgeObj, nil)
+	} else if len(n.edgeObj[id]) > 0 {
+		panic(fmt.Sprintf("roadnet: reused edge id %d still has resident objects", id))
+	}
+	n.SI.Insert(int32(id), n.G.Segment(id))
+	return id
+}
+
+// ObjectMove records one re-snap performed by RemoveEdge.
+type ObjectMove struct {
+	ID       ObjectID
+	Old, New Position
+}
+
+// RemoveEdge tombstones edge e, removes it from the spatial index, and
+// re-snaps every resident object onto the nearest live edge (deterministic:
+// the quadtree's nearest search tie-breaks on segment id). The performed
+// moves are returned sorted by object id so callers can propagate them to
+// result maintenance. Removing the last live edge panics while objects
+// remain — they would have nowhere to go.
+func (n *Network) RemoveEdge(e graph.EdgeID) []ObjectMove {
+	n.SI.Remove(int32(e))
+	n.G.RemoveEdge(e)
+	residents := n.edgeObj[e]
+	if len(residents) == 0 {
+		return nil
+	}
+	moves := make([]ObjectMove, 0, len(residents))
+	for _, ent := range residents {
+		moves = append(moves, ObjectMove{ID: ent.ID, Old: Position{Edge: e, Frac: ent.Frac}})
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].ID < moves[j].ID })
+	for i := range moves {
+		// The tombstoned edge's geometry stays readable until id reuse, so
+		// the old coordinates are still computable.
+		np, ok := n.Snap(n.Point(moves[i].Old))
+		if !ok {
+			panic("roadnet: RemoveEdge left resident objects with no live edge to re-snap onto")
+		}
+		moves[i].New = np
+		n.MoveObject(moves[i].ID, np)
+	}
+	return moves
+}
+
+// Resnap returns the nearest live network position to pos. pos may
+// reference a tombstoned edge whose geometry is still readable — the
+// re-snap path for queries and late reports that mention a removed edge.
+func (n *Network) Resnap(pos Position) (Position, bool) {
+	return n.Snap(n.Point(pos))
 }
 
 // Point returns the workspace coordinates of pos.
@@ -213,17 +276,15 @@ func (n *Network) ForEachObject(fn func(ObjectID, Position)) {
 	}
 }
 
-// AvgEdgeLength returns the mean geometric edge length, the unit in which
-// the paper expresses object and query speeds.
+// AvgEdgeLength returns the mean geometric length of the live edges, the
+// unit in which the paper expresses object and query speeds.
 func (n *Network) AvgEdgeLength() float64 {
-	m := n.G.NumEdges()
+	m := n.G.NumLiveEdges()
 	if m == 0 {
 		return 0
 	}
 	sum := 0.0
-	for i := 0; i < m; i++ {
-		sum += n.G.Edge(graph.EdgeID(i)).Length
-	}
+	n.G.ForEachEdge(func(e *graph.Edge) { sum += e.Length })
 	return sum / float64(m)
 }
 
@@ -315,10 +376,15 @@ func clampPos(p Position) Position {
 }
 
 // UniformPosition returns a uniformly random position: a uniformly chosen
-// edge and a uniform fraction along it.
+// live edge and a uniform fraction along it.
 func (n *Network) UniformPosition(rng RandSource) Position {
-	return Position{
-		Edge: graph.EdgeID(rng.Intn(n.G.NumEdges())),
-		Frac: rng.Float64(),
+	if n.G.NumLiveEdges() == 0 {
+		panic("roadnet: UniformPosition on a network with no live edges")
+	}
+	for {
+		e := graph.EdgeID(rng.Intn(n.G.NumEdges()))
+		if n.G.EdgeAlive(e) {
+			return Position{Edge: e, Frac: rng.Float64()}
+		}
 	}
 }

@@ -33,33 +33,60 @@ type Sequences struct {
 	ByEdge []SeqID // edge id -> sequence id
 	// EdgeIndex[e] is the index of edge e within its sequence's Edges.
 	EdgeIndex []int32
+
+	// Backing arenas: every sequence's Edges and Nodes are subslices of
+	// these, so a redecomposition after a topology edit reuses the storage
+	// instead of allocating per sequence.
+	edgeArena []graph.EdgeID
+	nodeArena []graph.NodeID
+	spans     []seqSpan
 }
+
+// seqSpan records where a sequence's edge and node runs start in the
+// arenas; the run ends where the next sequence's begins.
+type seqSpan struct{ e0, n0 int32 }
 
 // DecomposeSequences partitions all edges of g into sequences.
 //
 // The walk starts at every node of degree != 2 and follows degree-2 chains;
 // leftover edges (pure degree-2 cycles) are broken at an arbitrary node.
 func DecomposeSequences(g *graph.Graph) *Sequences {
-	s := &Sequences{
-		ByEdge:    make([]SeqID, g.NumEdges()),
-		EdgeIndex: make([]int32, g.NumEdges()),
+	return new(Sequences).Decompose(g)
+}
+
+// Decompose (re)computes the decomposition of g in place and returns s.
+// Backing storage is reused across calls, so redecomposing after a
+// topology edit settles at zero allocations per call. Sequence Edges and
+// Nodes slices alias s's arenas: they are valid until the next Decompose.
+func (s *Sequences) Decompose(g *graph.Graph) *Sequences {
+	ne := g.NumEdges()
+	if cap(s.ByEdge) < ne {
+		s.ByEdge = make([]SeqID, ne)
+		s.EdgeIndex = make([]int32, ne)
 	}
+	s.ByEdge = s.ByEdge[:ne]
+	s.EdgeIndex = s.EdgeIndex[:ne] // fully rewritten for every claimed edge
 	for i := range s.ByEdge {
 		s.ByEdge[i] = NoSeq
 	}
+	s.Seqs = s.Seqs[:0]
+	s.spans = s.spans[:0]
+	s.edgeArena = s.edgeArena[:0]
+	s.nodeArena = s.nodeArena[:0]
 
 	walk := func(start graph.NodeID, first graph.EdgeID) {
 		id := SeqID(len(s.Seqs))
-		seq := Sequence{ID: id, EndA: start}
-		seq.Nodes = append(seq.Nodes, start)
+		e0 := int32(len(s.edgeArena))
+		s.spans = append(s.spans, seqSpan{e0: e0, n0: int32(len(s.nodeArena))})
+		s.nodeArena = append(s.nodeArena, start)
 		cur := start
 		e := first
 		for {
 			s.ByEdge[e] = id
-			s.EdgeIndex[e] = int32(len(seq.Edges))
-			seq.Edges = append(seq.Edges, e)
+			s.EdgeIndex[e] = int32(len(s.edgeArena)) - e0
+			s.edgeArena = append(s.edgeArena, e)
 			cur = g.Edge(e).Other(cur)
-			seq.Nodes = append(seq.Nodes, cur)
+			s.nodeArena = append(s.nodeArena, cur)
 			if g.Degree(cur) != 2 || cur == start {
 				break
 			}
@@ -75,8 +102,7 @@ func DecomposeSequences(g *graph.Graph) *Sequences {
 				break
 			}
 		}
-		seq.EndB = cur
-		s.Seqs = append(s.Seqs, seq)
+		s.Seqs = append(s.Seqs, Sequence{ID: id, EndA: start, EndB: cur})
 	}
 
 	for ni := 0; ni < g.NumNodes(); ni++ {
@@ -90,12 +116,24 @@ func DecomposeSequences(g *graph.Graph) *Sequences {
 			}
 		}
 	}
-	// Remaining unclaimed edges belong to pure degree-2 cycles.
-	for ei := 0; ei < g.NumEdges(); ei++ {
+	// Remaining unclaimed edges belong to pure degree-2 cycles. Tombstoned
+	// ids stay NoSeq.
+	for ei := 0; ei < ne; ei++ {
 		e := graph.EdgeID(ei)
-		if s.ByEdge[e] == NoSeq {
+		if s.ByEdge[e] == NoSeq && g.EdgeAlive(e) {
 			walk(g.Edge(e).U, e)
 		}
+	}
+	// The arenas are final (appends can no longer move them): hand each
+	// sequence its subslices.
+	for i := range s.Seqs {
+		eEnd, nEnd := int32(len(s.edgeArena)), int32(len(s.nodeArena))
+		if i+1 < len(s.Seqs) {
+			eEnd, nEnd = s.spans[i+1].e0, s.spans[i+1].n0
+		}
+		sp := s.spans[i]
+		s.Seqs[i].Edges = s.edgeArena[sp.e0:eEnd:eEnd]
+		s.Seqs[i].Nodes = s.nodeArena[sp.n0:nEnd:nEnd]
 	}
 	return s
 }
@@ -135,7 +173,7 @@ func (s *Sequences) Validate(g *graph.Graph) error {
 		}
 	}
 	for e, ok := range seen {
-		if !ok {
+		if !ok && g.EdgeAlive(graph.EdgeID(e)) {
 			return fmt.Errorf("edge %d not covered by any sequence", e)
 		}
 	}

@@ -47,6 +47,25 @@ type Batcher struct {
 	qryOrder []roadknn.QueryID
 	edgePend map[roadknn.EdgeID]float64
 	edgeOrd  []roadknn.EdgeID
+
+	// Topology state. Ops are never coalesced — their order drives the
+	// engine's deterministic edge-id assignment — so pending ops are a plain
+	// ordered list, and topoApplied is the committed op log since startup
+	// (checkpoints store it so recovery can rebuild the exact edge set).
+	topoPend    []roadknn.TopologyUpdate
+	topoApplied []roadknn.TopologyUpdate
+	// The batcher mirrors the engine's edge-id allocator so insertions can
+	// be assigned their id at admission time (and liveness validated)
+	// without ever touching the live graph from a handler: topoAlive is
+	// edge liveness after all committed ops, simFree/simNext the freelist
+	// and next-fresh-id after committed AND pending ops, simState the
+	// pending ops' liveness overrides, and simLive the live-edge count
+	// after committed and pending ops.
+	topoAlive []bool
+	simFree   []roadknn.EdgeID
+	simNext   int
+	simState  map[roadknn.EdgeID]bool
+	simLive   int
 }
 
 type pendingPos struct {
@@ -69,7 +88,8 @@ type pendingQry struct {
 	reinstall bool
 }
 
-// NewBatcher returns an empty batcher.
+// NewBatcher returns an empty batcher. Callers that admit topology edits
+// must seed the edge-id simulator with InitTopology first.
 func NewBatcher() *Batcher {
 	return &Batcher{
 		objApplied:  make(map[roadknn.ObjectID]roadknn.Position),
@@ -78,7 +98,104 @@ func NewBatcher() *Batcher {
 		objPend:     make(map[roadknn.ObjectID]pendingPos),
 		qryPend:     make(map[roadknn.QueryID]pendingQry),
 		edgePend:    make(map[roadknn.EdgeID]float64),
+		simState:    make(map[roadknn.EdgeID]bool),
 	}
+}
+
+// InitTopology seeds the batcher's view of the engine's edge-id space:
+// numEdges is the id-space size and free the graph's tombstone freelist in
+// stack order. Called once at server construction — afterwards the batcher
+// evolves the view itself as ops are admitted and committed, so handlers
+// never read the live graph.
+func (b *Batcher) InitTopology(numEdges int, free []roadknn.EdgeID) {
+	b.topoAlive = make([]bool, numEdges)
+	for i := range b.topoAlive {
+		b.topoAlive[i] = true
+	}
+	for _, e := range free {
+		b.topoAlive[e] = false
+	}
+	b.simFree = append(b.simFree[:0], free...)
+	b.simNext = numEdges
+	b.simLive = numEdges - len(free)
+	clear(b.simState)
+}
+
+// TopoAlive reports whether edge e will be live once the pending topology
+// ops apply — the liveness every position or weight report in the current
+// tick is validated against.
+func (b *Batcher) TopoAlive(e roadknn.EdgeID) bool {
+	if st, ok := b.simState[e]; ok {
+		return st
+	}
+	if b.topoAlive == nil {
+		return true // topology tracking not initialized: everything is live
+	}
+	return e >= 0 && int(e) < len(b.topoAlive) && b.topoAlive[e]
+}
+
+// NumEdgesView returns the edge id-space size including pending
+// insertions — the exclusive upper bound on any edge id a client may
+// reference this tick.
+func (b *Batcher) NumEdgesView() int { return b.simNext }
+
+// LiveEdges returns the live-edge count after pending ops.
+func (b *Batcher) LiveEdges() int { return b.simLive }
+
+// AddEdge admits an edge insertion between u and v with weight w and
+// returns the id the engine will deterministically assign it (reusing the
+// most recently tombstoned id, exactly as the graph's allocator does).
+func (b *Batcher) AddEdge(u, v roadknn.NodeID, w float64) roadknn.EdgeID {
+	id := roadknn.EdgeID(b.simNext)
+	if n := len(b.simFree); n > 0 {
+		id = b.simFree[n-1]
+		b.simFree = b.simFree[:n-1]
+	} else {
+		b.simNext++
+	}
+	b.simState[id] = true
+	b.simLive++
+	b.topoPend = append(b.topoPend, roadknn.TopologyUpdate{Op: roadknn.TopoAdd, Edge: id, U: u, V: v, W: w})
+	return id
+}
+
+// RemoveEdge admits an edge removal. The caller has validated that e is
+// live in the pending view (TopoAlive) and that removing it leaves at
+// least one live edge.
+func (b *Batcher) RemoveEdge(e roadknn.EdgeID) {
+	b.simFree = append(b.simFree, e)
+	b.simState[e] = false
+	b.simLive--
+	b.topoPend = append(b.topoPend, roadknn.TopologyUpdate{Op: roadknn.TopoRemove, Edge: e})
+}
+
+// PendingOnEdge reports whether any pending (non-delete) object or query
+// report is positioned on edge e; a removal of e must be rejected while
+// one is — the report was validated against e being live, and the engine
+// would otherwise place the entity on a dead edge.
+func (b *Batcher) PendingOnEdge(e roadknn.EdgeID) bool {
+	for _, p := range b.objPend {
+		if !p.del && p.pos.Edge == e {
+			return true
+		}
+	}
+	for _, p := range b.qryPend {
+		if !p.end && p.pos.Edge == e {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingTopo returns the number of pending topology ops.
+func (b *Batcher) PendingTopo() int { return len(b.topoPend) }
+
+// SimSnapshot returns a copy of the id simulator's freelist (stack order)
+// and the next fresh id, so validation can dry-run a request's topology
+// ops — including the exact ids its insertions would be assigned —
+// without mutating the batcher.
+func (b *Batcher) SimSnapshot() ([]roadknn.EdgeID, int) {
+	return append([]roadknn.EdgeID(nil), b.simFree...), b.simNext
 }
 
 // Object reports object id at pos (insert or move — the batcher decides
@@ -180,7 +297,7 @@ func (b *Batcher) Edge(edge roadknn.EdgeID, w float64) {
 
 // Pending returns the number of entities with pending changes.
 func (b *Batcher) Pending() int {
-	return len(b.objPend) + len(b.qryPend) + len(b.edgePend)
+	return len(b.objPend) + len(b.qryPend) + len(b.edgePend) + len(b.topoPend)
 }
 
 // PendingObject, PendingQuery and PendingEdge report whether the entity
@@ -209,6 +326,29 @@ func (b *Batcher) Preview() roadknn.Updates { return b.build(false) }
 
 func (b *Batcher) build(commit bool) roadknn.Updates {
 	var u roadknn.Updates
+	if len(b.topoPend) > 0 {
+		u.Topology = append([]roadknn.TopologyUpdate(nil), b.topoPend...)
+		if commit {
+			for _, tp := range b.topoPend {
+				if tp.Op == roadknn.TopoRemove {
+					b.topoAlive[tp.Edge] = false
+					// The removal invalidates any recorded weight override:
+					// should the id be reused, the reincarnated edge's weight
+					// comes from its TopoAdd op, not from the dead road's
+					// last traffic report.
+					delete(b.edgeApplied, tp.Edge)
+				} else {
+					for int(tp.Edge) >= len(b.topoAlive) {
+						b.topoAlive = append(b.topoAlive, false)
+					}
+					b.topoAlive[tp.Edge] = true
+				}
+			}
+			b.topoApplied = append(b.topoApplied, b.topoPend...)
+			b.topoPend = b.topoPend[:0]
+			clear(b.simState)
+		}
+	}
 	for _, id := range b.objOrder {
 		p := b.objPend[id]
 		old, existed := b.objApplied[id]
@@ -270,7 +410,12 @@ func (b *Batcher) build(commit bool) roadknn.Updates {
 	}
 	for _, eid := range b.edgeOrd {
 		u.Edges = append(u.Edges, roadknn.EdgeUpdate{Edge: eid, NewW: b.edgePend[eid]})
-		if commit {
+		// A weight report raced a same-tick removal of its edge: the engine
+		// drops it (stale sensor report), so the applied view must not
+		// record it either. It is still emitted — replay must reproduce the
+		// logged batch byte for byte, and the engine's drop is
+		// deterministic.
+		if commit && b.TopoAlive(eid) {
 			b.edgeApplied[eid] = b.edgePend[eid]
 		}
 	}
@@ -291,6 +436,20 @@ func (b *Batcher) build(commit bool) roadknn.Updates {
 // the applied state the batch was drained from (the checkpoint state, or
 // the state after replaying the preceding batches).
 func (b *Batcher) Replay(u roadknn.Updates) {
+	for _, tp := range u.Topology {
+		if tp.Op == roadknn.TopoRemove {
+			b.RemoveEdge(tp.Edge)
+			continue
+		}
+		id := b.AddEdge(tp.U, tp.V, tp.W)
+		if tp.Edge >= 0 && tp.Edge != id {
+			// The simulator re-derived a different id than the original run
+			// recorded: wrong network file or corrupt log. Keep the recorded
+			// id in the pending op so the engine's own assertion fails
+			// loudly on Step instead of silently renumbering the edge space.
+			b.topoPend[len(b.topoPend)-1].Edge = tp.Edge
+		}
+	}
 	for _, e := range u.Edges {
 		b.Edge(e.Edge, e.NewW)
 	}
@@ -310,12 +469,55 @@ func (b *Batcher) Replay(u roadknn.Updates) {
 	}
 }
 
+// ReconcileTopology repairs the applied-state view after a tick whose
+// batch contained topology ops. Inside the engine, objects resident on a
+// removed edge were re-snapped onto the nearest live edge, and queries
+// stranded on one were re-snapped by the same deterministic rule — but no
+// client reported those moves, so the batcher's applied positions have
+// silently gone stale; left alone, the next report for such an entity
+// would coalesce against the wrong position (and a replayed run would
+// drift from the live one). net is the engine's network after the Step.
+// The scan is churn-proportional: only entities whose applied position
+// lies on an edge the batch removed are touched.
+func (b *Batcher) ReconcileTopology(topo []roadknn.TopologyUpdate, net *roadknn.Network) {
+	removed := make(map[roadknn.EdgeID]bool, len(topo))
+	for _, tp := range topo {
+		if tp.Op == roadknn.TopoRemove {
+			removed[tp.Edge] = true
+		}
+	}
+	if len(removed) == 0 {
+		return
+	}
+	for id, pos := range b.objApplied {
+		if removed[pos.Edge] {
+			// Residents re-snap at the moment their edge is removed, so the
+			// registry holds the authoritative position even if the id was
+			// reused by a later insertion in the same batch.
+			if np, ok := net.ObjectPos(id); ok {
+				b.objApplied[id] = np
+			}
+		}
+	}
+	for id, q := range b.qryApplied {
+		// Queries re-snap only if their edge is still dead after the whole
+		// batch (an id reused by a same-batch insertion keeps the query,
+		// now on the new road's geometry) — mirror the engine's rule
+		// exactly.
+		if removed[q.pos.Edge] && !net.G.EdgeAlive(q.pos.Edge) {
+			if np, ok := net.Resnap(q.pos); ok {
+				b.qryApplied[id] = appliedQry{pos: np, k: q.k}
+			}
+		}
+	}
+}
+
 // CheckpointState returns the applied state — object positions,
-// registered queries, edge weight overrides — as sorted slices ready for
-// a wal.Checkpoint. Pending (undrained) reports are not included; the
-// caller checkpoints at a tick boundary where applied state and engine
-// state coincide.
-func (b *Batcher) CheckpointState() ([]wal.ObjectState, []wal.QueryState, []wal.EdgeState) {
+// registered queries, edge weight overrides, and the ordered topology op
+// log — as slices ready for a wal.Checkpoint. Pending (undrained) reports
+// are not included; the caller checkpoints at a tick boundary where
+// applied state and engine state coincide.
+func (b *Batcher) CheckpointState() ([]wal.ObjectState, []wal.QueryState, []wal.EdgeState, []roadknn.TopologyUpdate) {
 	objs := make([]wal.ObjectState, 0, len(b.objApplied))
 	for id, pos := range b.objApplied {
 		objs = append(objs, wal.ObjectState{ID: id, Pos: pos})
@@ -331,5 +533,5 @@ func (b *Batcher) CheckpointState() ([]wal.ObjectState, []wal.QueryState, []wal.
 		edges = append(edges, wal.EdgeState{Edge: e, W: w})
 	}
 	sort.Slice(edges, func(i, j int) bool { return edges[i].Edge < edges[j].Edge })
-	return objs, qrys, edges
+	return objs, qrys, edges, append([]roadknn.TopologyUpdate(nil), b.topoApplied...)
 }

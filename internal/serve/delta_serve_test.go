@@ -79,7 +79,9 @@ func TestDeltaOracle(t *testing.T) {
 	const ring = 4
 	s, hs := newDeltaTestServer(t, ring)
 	rng := rand.New(rand.NewSource(42))
-	numEdges := int32(s.Engine().Network().G.NumEdges())
+	// Reports stay on edges < 340 so the topology churn below can cycle
+	// edge 349 without ever colliding with a pending report on it.
+	numEdges := int32(340)
 
 	// Oracle: canonical bytes of every published snapshot.
 	oracle := map[uint64][]byte{}
@@ -142,6 +144,18 @@ func TestDeltaOracle(t *testing.T) {
 		// A couple of edge-weight changes per tick.
 		for i := 0; i < 2; i++ {
 			req.Edges = append(req.Edges, edgeReport{Edge: rng.Int31n(numEdges), W: 0.5 + 2*rng.Float64()})
+		}
+		// Topology churn rides the same rotating encodings: edge 349 dies
+		// and is reincarnated off the freelist (with an expected-id
+		// assertion), so every delta subscriber reconstructs epochs whose
+		// adjacency itself changed.
+		if ts%5 == 2 {
+			e := int32(349)
+			req.Topology = append(req.Topology, topoReport{Op: topoOpRemove, Edge: &e})
+		}
+		if ts%5 == 3 {
+			e := int32(349)
+			req.Topology = append(req.Topology, topoReport{Op: topoOpAdd, Edge: &e, U: 10, V: 20, W: 1.2})
 		}
 
 		// Rotate the ingest encoding so the oracle exercises all three.

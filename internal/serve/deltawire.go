@@ -174,6 +174,66 @@ func DecodeDeltaFrame(typ byte, payload []byte) (*roadknn.Delta, *roadknn.Snapsh
 	return nil, nil, 0, fmt.Errorf("serve: unknown delta frame type %d", typ)
 }
 
+// parseQueriesFilter resolves the optional ?queries= parameter of the
+// delta endpoints: a comma-separated query-id list restricting what the
+// subscriber receives. nil means no filtering (the default).
+func parseQueriesFilter(w http.ResponseWriter, r *http.Request) (map[roadknn.QueryID]struct{}, bool) {
+	qs := r.URL.Query().Get("queries")
+	if qs == "" {
+		return nil, true
+	}
+	set := make(map[roadknn.QueryID]struct{})
+	for _, part := range strings.Split(qs, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 32)
+		if err != nil {
+			http.Error(w, "bad ?queries= (want a comma-separated id list)", http.StatusBadRequest)
+			return nil, false
+		}
+		set[roadknn.QueryID(v)] = struct{}{}
+	}
+	if len(set) == 0 {
+		http.Error(w, "bad ?queries= (want a comma-separated id list)", http.StatusBadRequest)
+		return nil, false
+	}
+	return set, true
+}
+
+// filterDelta restricts a delta to the subscribed queries. It returns d
+// unchanged when only is nil, a shallow filtered copy when some rows
+// match, and nil when none do — the caller skips the delta entirely (safe:
+// a skipped epoch carries zero changes for every subscribed query, so the
+// client's reconstruction is unaffected; its cursor still advances past
+// it).
+func filterDelta(d *roadknn.Delta, only map[roadknn.QueryID]struct{}) *roadknn.Delta {
+	if only == nil {
+		return d
+	}
+	n := 0
+	for i := range d.Queries {
+		if _, ok := only[d.Queries[i].ID]; ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	if n == len(d.Queries) {
+		return d
+	}
+	fd := *d
+	fd.Queries = make([]roadknn.QueryDelta, 0, n)
+	for i := range d.Queries {
+		if _, ok := only[d.Queries[i].ID]; ok {
+			fd.Queries = append(fd.Queries, d.Queries[i])
+		}
+	}
+	return &fd
+}
+
 // parseSinceWait resolves the ?since / ?wait_ms parameters shared by the
 // delta endpoints. hasSince is false when the client wants a bootstrap.
 func (s *Server) parseSinceWait(w http.ResponseWriter, r *http.Request) (since uint64, hasSince bool, wait time.Duration, ok bool) {
@@ -207,6 +267,13 @@ func (s *Server) handleDeltaBinary(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// ?queries= filters delta frames only; resync frames stay full
+	// snapshots — the binary snapshot encoding is canonical (CRC-verified
+	// against the engine's), so it is never subsetted.
+	only, ok := parseQueriesFilter(w, r)
+	if !ok {
+		return
+	}
 	s.reads.Add(1)
 	buf := appendDeltaStreamHeader(nil)
 	epoch := uint64(0)
@@ -222,9 +289,16 @@ func (s *Server) handleDeltaBinary(w http.ResponseWriter, r *http.Request) {
 			buf = append(buf, resyncFrame(resync)...)
 		case len(deltas) > 0:
 			for _, d := range deltas {
-				buf = append(buf, deltaFrame(d)...)
+				if fd := filterDelta(d, only); fd != nil {
+					buf = append(buf, deltaFrame(fd)...)
+				}
 			}
 			epoch = deltas[len(deltas)-1].Epoch()
+			if len(buf) == deltaStreamHdrLen {
+				// Everything filtered out: a heartbeat still advances the
+				// subscriber's cursor past the changeless epochs.
+				buf = append(buf, heartbeatFrame(epoch)...)
+			}
 		default:
 			epoch = s.broker.epoch()
 			buf = append(buf, heartbeatFrame(epoch)...)
@@ -245,6 +319,10 @@ func (s *Server) handleDeltasBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	since, hasSince, _, ok := s.parseSinceWait(w, r)
+	if !ok {
+		return
+	}
+	only, ok := parseQueriesFilter(w, r)
 	if !ok {
 		return
 	}
@@ -301,7 +379,11 @@ func (s *Server) handleDeltasBinary(w http.ResponseWriter, r *http.Request) {
 		case len(deltas) > 0:
 			strikes = 0
 			for _, d := range deltas {
-				if !send(deltaFrame(d)) {
+				fd := filterDelta(d, only)
+				if fd == nil {
+					continue // no changes for the subscribed queries
+				}
+				if !send(deltaFrame(fd)) {
 					return
 				}
 			}

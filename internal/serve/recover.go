@@ -74,6 +74,12 @@ func (s *Server) Recover(rec *wal.Recovery) (RecoveryStats, error) {
 	if c := rec.Checkpoint; c != nil {
 		st.CheckpointStamp, st.CheckpointEpoch = c.Stamp, c.Epoch
 		s.batchMu.Lock()
+		// The topology op log replays first (via the batch's Topology
+		// section, which Step applies before everything else): it
+		// reconstructs the exact edge set — including deterministic id
+		// reuse — that the checkpointed positions and weight overrides
+		// refer to.
+		s.batch.Replay(roadknn.Updates{Topology: c.Topology})
 		for _, e := range c.Edges {
 			s.batch.Edge(e.Edge, e.W)
 		}
@@ -86,6 +92,7 @@ func (s *Server) Recover(rec *wal.Recovery) (RecoveryStats, error) {
 		u := s.batch.Drain()
 		s.batchMu.Unlock()
 		s.eng.Step(u)
+		s.reconcileTopology(u)
 		cr.RestoreClock(c.Epoch, c.Stamp)
 		if got := s.eng.Snapshot().AppendBinary(nil); !bytes.Equal(got, c.Snapshot) {
 			return st, fmt.Errorf("serve: checkpoint rebuild diverged from the checkpointed snapshot "+
@@ -103,9 +110,10 @@ func (s *Server) Recover(rec *wal.Recovery) (RecoveryStats, error) {
 		u := s.batch.Drain()
 		s.batchMu.Unlock()
 		s.eng.Step(u)
+		s.reconcileTopology(u)
 		s.seq = b.Seq
 		st.ReplayedBatches++
-		st.ReplayedUpdates += len(b.Updates.Objects) + len(b.Updates.Queries) + len(b.Updates.Edges)
+		st.ReplayedUpdates += len(b.Updates.Topology) + len(b.Updates.Objects) + len(b.Updates.Queries) + len(b.Updates.Edges)
 		if t := b.Tick; t != nil {
 			snap := s.eng.Snapshot()
 			if snap.Epoch() != t.Epoch || snap.Timestamp() != t.Stamp {

@@ -78,19 +78,46 @@ func (s *Server) handleReplicationInfo(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// replCheckpointChunk is the copy granularity of the checkpoint stream:
+// large enough to amortize syscalls, small enough that a handler never
+// pins a full checkpoint image in memory.
+const replCheckpointChunk = 256 << 10
+
 func (s *Server) handleReplicationCheckpoint(w http.ResponseWriter, r *http.Request) {
-	img, stamp, err := s.cfg.WAL.CheckpointImage()
+	rc, size, stamp, err := s.cfg.WAL.CheckpointReader()
 	if err != nil {
 		http.Error(w, "reading checkpoint: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if img == nil {
+	if rc == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	defer rc.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(checkpointStampHeader, strconv.FormatUint(stamp, 10))
-	w.Write(img)
+	// The declared length comes from the image's own header, so a follower
+	// whose transfer is cut mid-stream sees a short body and rejects it
+	// (the image's CRC is re-verified on decode regardless).
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, replCheckpointChunk)
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away mid-stream
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if rerr != nil {
+			// io.EOF ends the stream; a mid-file read failure cuts the body
+			// short of the declared length, which the follower detects.
+			return
+		}
+	}
 }
 
 // AppendReplLogHeader appends the log response header to buf (exported
@@ -194,6 +221,10 @@ func (s *Server) BootstrapFollower(c *wal.Checkpoint) error {
 			return fmt.Errorf("serve: engine %s cannot restore its clock", s.eng.Name())
 		}
 		s.batchMu.Lock()
+		// Topology first, as in Recover: the op log reconstructs the exact
+		// edge set (including deterministic id reuse) the checkpointed
+		// positions and overrides refer to.
+		s.batch.Replay(roadknn.Updates{Topology: c.Topology})
 		for _, e := range c.Edges {
 			s.batch.Edge(e.Edge, e.W)
 		}
@@ -206,6 +237,7 @@ func (s *Server) BootstrapFollower(c *wal.Checkpoint) error {
 		u := s.batch.Drain()
 		s.batchMu.Unlock()
 		s.eng.Step(u)
+		s.reconcileTopology(u)
 		cr.RestoreClock(c.Epoch, c.Stamp)
 		if got := s.eng.Snapshot().AppendBinary(nil); !bytes.Equal(got, c.Snapshot) {
 			return fmt.Errorf("serve: follower bootstrap diverged from the checkpointed snapshot "+
@@ -250,6 +282,7 @@ func (s *Server) ApplyReplicated(b wal.BatchRecord) error {
 	s.batchMu.Unlock()
 	start := time.Now()
 	s.eng.Step(u)
+	s.reconcileTopology(u)
 	s.stepNanos.Add(time.Since(start).Nanoseconds())
 	s.steps.Add(1)
 	s.seq = b.Seq

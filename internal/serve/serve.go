@@ -27,12 +27,14 @@
 //	GET  /v1/delta     long-poll cursor advance: ?since=E answers with the
 //	                   per-epoch deltas E+1..newest, or a full-snapshot
 //	                   resync when the cursor lagged off the delta ring.
-//	                   Accept: application/x-roadknn-delta negotiates the
-//	                   binary frame stream (see deltawire.go)
+//	                   ?queries=1,2 restricts delivery to the listed query
+//	                   ids. Accept: application/x-roadknn-delta negotiates
+//	                   the binary frame stream (see deltawire.go)
 //	GET  /v1/deltas    server-sent events: one delta per published epoch
 //	                   ("resync" events re-seed the client when needed);
-//	                   the same Accept header negotiates a continuous
-//	                   binary frame stream instead of SSE
+//	                   ?queries= filters as above; the same Accept header
+//	                   negotiates a continuous binary frame stream instead
+//	                   of SSE
 //	GET  /v1/stats     runtime counters (epoch, steps, reads, timings, WAL)
 //	GET  /healthz      readiness probe: 503 while replaying the WAL or
 //	                   after a WAL failure degraded the server to
@@ -132,9 +134,10 @@ type Config struct {
 type Server struct {
 	eng roadknn.Engine
 	cfg Config
-	// numEdges bounds incoming edge ids (the edge set is fixed for an
-	// engine's lifetime; only weights change through Step).
-	numEdges int
+	// numNodes bounds incoming node ids for edge insertions (the node set
+	// is fixed for an engine's lifetime; the edge set evolves through
+	// topology updates, tracked by the batcher's id simulator).
+	numNodes int
 
 	// batchMu guards the ingestion batcher; ingestion never blocks on a
 	// running Step (the stepper holds batchMu only for the Drain itself).
@@ -208,13 +211,15 @@ func New(eng roadknn.Engine, cfg Config) *Server {
 	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
-		numEdges: eng.Network().G.NumEdges(),
+		numNodes: eng.Network().G.NumNodes(),
 		batch:    NewBatcher(),
 		broker:   newBroker(cfg.DeltaRing),
 		notify:   make(chan struct{}),
 		stopc:    make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	g := eng.Network().G
+	s.batch.InitTopology(g.NumEdges(), g.FreeEdgeIDs())
 	s.broker.reset(eng.Snapshot())
 	// Without a WAL there is nothing to recover: the server is born ready.
 	// With one, Recover must run first (even over an empty log) so clients
@@ -288,7 +293,7 @@ func (s *Server) Close() {
 			s.batchMu.Lock()
 			u := s.batch.Preview()
 			s.batchMu.Unlock()
-			if len(u.Objects)+len(u.Queries)+len(u.Edges) > 0 {
+			if len(u.Topology)+len(u.Objects)+len(u.Queries)+len(u.Edges) > 0 {
 				if err := w.AppendPending(u); err != nil {
 					s.setReadOnly(err)
 				}
@@ -335,6 +340,7 @@ func (s *Server) Tick() *roadknn.Snapshot {
 	s.seq++
 	start := time.Now()
 	s.eng.Step(u)
+	s.reconcileTopology(u)
 	s.stepNanos.Add(time.Since(start).Nanoseconds())
 	s.steps.Add(1)
 	snap := s.eng.Snapshot()
@@ -375,6 +381,19 @@ func (s *Server) Tick() *roadknn.Snapshot {
 	return snap
 }
 
+// reconcileTopology propagates the engine-side re-snaps of a just-stepped
+// batch's edge removals into the batcher's applied state (see
+// Batcher.ReconcileTopology). Called after every Step, on the live, replay
+// and replication paths alike — all three must track identical state.
+func (s *Server) reconcileTopology(u roadknn.Updates) {
+	if len(u.Topology) == 0 {
+		return
+	}
+	s.batchMu.Lock()
+	s.batch.ReconcileTopology(u.Topology, s.eng.Network())
+	s.batchMu.Unlock()
+}
+
 // checkpointLocked (stepMu held) writes a checkpoint at the current tick
 // boundary, where the batcher's applied state and the engine's state
 // coincide. The engine is first canonicalized with Rebuild: incremental
@@ -398,7 +417,7 @@ func (s *Server) checkpointLocked() {
 	rb.Rebuild()
 	snap := s.eng.Snapshot()
 	s.batchMu.Lock()
-	objs, qrys, edges := s.batch.CheckpointState()
+	objs, qrys, edges, topo := s.batch.CheckpointState()
 	s.batchMu.Unlock()
 	c := &wal.Checkpoint{
 		Epoch:    snap.Epoch(),
@@ -406,6 +425,7 @@ func (s *Server) checkpointLocked() {
 		Objects:  objs,
 		Queries:  qrys,
 		Edges:    edges,
+		Topology: topo,
 		Snapshot: snap.AppendBinary(nil),
 	}
 	err := s.cfg.WAL.WriteCheckpoint(c)
@@ -498,12 +518,33 @@ func (s *Server) waitDelta(ctx context.Context, since uint64, wait time.Duration
 
 // ---- wire format ----
 
-// batchRequest is the POST /v1/updates payload.
+// batchRequest is the POST /v1/updates payload. Topology ops apply at the
+// next tick before every other update kind, in the order given.
 type batchRequest struct {
-	Objects []objectReport `json:"objects,omitempty"`
-	Queries []queryReport  `json:"queries,omitempty"`
-	Edges   []edgeReport   `json:"edges,omitempty"`
+	Topology []topoReport   `json:"topology,omitempty"`
+	Objects  []objectReport `json:"objects,omitempty"`
+	Queries  []queryReport  `json:"queries,omitempty"`
+	Edges    []edgeReport   `json:"edges,omitempty"`
 }
+
+// topoReport is one live network edit: {"op":"add","u":U,"v":V,"w":W}
+// inserts an edge between existing nodes (the response returns the
+// assigned id; Edge, when >= 0, asserts the expected id), and
+// {"op":"remove","edge":E} deletes one — resident objects and stranded
+// queries re-snap onto the nearest live edge.
+type topoReport struct {
+	Op   string  `json:"op"`
+	Edge *int32  `json:"edge,omitempty"` // remove: target (required); add: optional expected-id assertion
+	U    int32   `json:"u,omitempty"`
+	V    int32   `json:"v,omitempty"`
+	W    float64 `json:"w,omitempty"`
+}
+
+// Topology op names on the wire.
+const (
+	topoOpAdd    = "add"
+	topoOpRemove = "remove"
+)
 
 // objectReport places object ID on an edge, or deletes it.
 type objectReport struct {
@@ -542,6 +583,26 @@ type snapshotJSON struct {
 	Epoch     uint64            `json:"epoch"`
 	Timestamp uint64            `json:"timestamp"`
 	Queries   []queryResultJSON `json:"queries"`
+}
+
+// snapshotToJSONFiltered renders a snapshot restricted to the subscribed
+// queries (nil = all; see ?queries= on the delta endpoints).
+func snapshotToJSONFiltered(snap *roadknn.Snapshot, only map[roadknn.QueryID]struct{}) snapshotJSON {
+	if only == nil {
+		return snapshotToJSON(snap)
+	}
+	out := snapshotJSON{
+		Epoch:     snap.Epoch(),
+		Timestamp: snap.Timestamp(),
+		Queries:   make([]queryResultJSON, 0, len(only)),
+	}
+	for i := 0; i < snap.Len(); i++ {
+		id, res := snap.At(i)
+		if _, ok := only[id]; ok {
+			out.Queries = append(out.Queries, resultToJSON(id, res))
+		}
+	}
+	return out
 }
 
 func snapshotToJSON(snap *roadknn.Snapshot) snapshotJSON {
@@ -749,7 +810,7 @@ func failDecode(w http.ResponseWriter, err error) {
 // ingest admits one decoded batch: bound pending growth (429), validate
 // (400), coalesce into the batcher, acknowledge. req is only read.
 func (s *Server) ingest(w http.ResponseWriter, req *batchRequest) {
-	n := len(req.Objects) + len(req.Queries) + len(req.Edges)
+	n := len(req.Topology) + len(req.Objects) + len(req.Queries) + len(req.Edges)
 	s.batchMu.Lock()
 	// Bound batcher memory between ticks: count the distinct entities this
 	// batch would newly add (re-reports of pending entities overwrite in
@@ -769,6 +830,17 @@ func (s *Server) ingest(w http.ResponseWriter, req *batchRequest) {
 		s.batchMu.Unlock()
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	// Topology first: ops are ordered and drive the id simulator that
+	// validated the rest of the request.
+	var addedEdges []int64
+	for _, tp := range req.Topology {
+		if tp.Op == topoOpRemove {
+			s.batch.RemoveEdge(roadknn.EdgeID(*tp.Edge))
+			continue
+		}
+		id := s.batch.AddEdge(roadknn.NodeID(tp.U), roadknn.NodeID(tp.V), tp.W)
+		addedEdges = append(addedEdges, int64(id))
 	}
 	for _, o := range req.Objects {
 		id := roadknn.ObjectID(o.ID)
@@ -792,7 +864,13 @@ func (s *Server) ingest(w http.ResponseWriter, req *batchRequest) {
 	pending := s.batch.Pending()
 	s.batchMu.Unlock()
 	s.ingested.Add(int64(n))
-	writeJSON(w, map[string]any{"accepted": n, "pending": pending})
+	resp := map[string]any{"accepted": n, "pending": pending}
+	if addedEdges != nil {
+		// The ids the batch's insertions will be assigned at the next tick,
+		// in op order.
+		resp["edges"] = addedEdges
+	}
+	writeJSON(w, resp)
 }
 
 // pendingGrowth returns an upper bound on how many new pending entities
@@ -800,7 +878,8 @@ func (s *Server) ingest(w http.ResponseWriter, req *batchRequest) {
 // has no pending entry yet. (No-op deletes/ends of unknown ids are
 // counted too — a harmless overcount.) Caller holds batchMu.
 func (s *Server) pendingGrowth(req *batchRequest) int {
-	grow := 0
+	// Topology ops are never coalesced: each one grows the pending list.
+	grow := len(req.Topology)
 	objs := make(map[int64]struct{}, len(req.Objects))
 	for _, o := range req.Objects {
 		if _, dup := objs[o.ID]; dup {
@@ -835,12 +914,83 @@ func (s *Server) pendingGrowth(req *batchRequest) int {
 }
 
 // validateBatch bounds-checks an ingestion batch against the network and
-// engine invariants. Caller holds batchMu (query-install detection reads
-// the batcher's applied/pending state).
+// engine invariants. Caller holds batchMu (query-install detection and
+// topology liveness read the batcher's applied/pending state). Topology
+// ops are dry-run first through a copy of the batcher's id simulator —
+// each op changes edge liveness for everything after it, and an
+// insertion's assigned id must be known to honor expected-id assertions
+// and to admit positions on the new edge within the same request — so a
+// bad batch is rejected whole before anything is admitted.
 func (s *Server) validateBatch(req *batchRequest) error {
+	var ov map[roadknn.EdgeID]bool // request-local liveness overlay
+	if len(req.Topology) > 0 {
+		ov = make(map[roadknn.EdgeID]bool, len(req.Topology))
+	}
+	alive := func(e roadknn.EdgeID) bool {
+		if st, ok := ov[e]; ok {
+			return st
+		}
+		return s.batch.TopoAlive(e)
+	}
+	edgeSpace := s.batch.NumEdgesView()
+	if len(req.Topology) > 0 {
+		free, next := s.batch.SimSnapshot()
+		live := s.batch.LiveEdges()
+		for i, tp := range req.Topology {
+			switch tp.Op {
+			case topoOpRemove:
+				if tp.Edge == nil {
+					return fmt.Errorf("topology[%d]: remove requires \"edge\"", i)
+				}
+				e := roadknn.EdgeID(*tp.Edge)
+				if !alive(e) {
+					return fmt.Errorf("topology[%d]: edge %d is not live", i, e)
+				}
+				if live <= 1 {
+					return fmt.Errorf("topology[%d]: removing edge %d would leave no live edge", i, e)
+				}
+				if _, inReq := ov[e]; !inReq && s.batch.PendingOnEdge(e) {
+					return fmt.Errorf("topology[%d]: edge %d has pending reports positioned on it; tick first", i, e)
+				}
+				ov[e] = false
+				free = append(free, e)
+				live--
+			case topoOpAdd:
+				if tp.U < 0 || int(tp.U) >= s.numNodes || tp.V < 0 || int(tp.V) >= s.numNodes {
+					return fmt.Errorf("topology[%d]: node out of range [0,%d)", i, s.numNodes)
+				}
+				if tp.U == tp.V {
+					return fmt.Errorf("topology[%d]: self-loop %d-%d", i, tp.U, tp.V)
+				}
+				if !(tp.W > 0) || math.IsInf(tp.W, 1) {
+					return fmt.Errorf("topology[%d]: weight must be finite and positive, got %v", i, tp.W)
+				}
+				id := roadknn.EdgeID(next)
+				if n := len(free); n > 0 {
+					id = free[n-1]
+					free = free[:n-1]
+				} else {
+					next++
+				}
+				if tp.Edge != nil && roadknn.EdgeID(*tp.Edge) != id {
+					return fmt.Errorf("topology[%d]: insertion will be assigned edge %d, not %d", i, id, *tp.Edge)
+				}
+				ov[id] = true
+				live++
+			default:
+				return fmt.Errorf("topology[%d]: unknown op %q (want %q or %q)", i, tp.Op, topoOpAdd, topoOpRemove)
+			}
+		}
+		if next > edgeSpace {
+			edgeSpace = next
+		}
+	}
 	okPos := func(edge int32, frac float64) error {
-		if edge < 0 || int(edge) >= s.numEdges {
-			return fmt.Errorf("edge %d out of range [0,%d)", edge, s.numEdges)
+		if edge < 0 || int(edge) >= edgeSpace {
+			return fmt.Errorf("edge %d out of range [0,%d)", edge, edgeSpace)
+		}
+		if !alive(roadknn.EdgeID(edge)) {
+			return fmt.Errorf("edge %d is not live", edge)
 		}
 		if !(frac >= 0 && frac <= 1) { // rejects NaN too
 			return fmt.Errorf("frac %v outside [0,1]", frac)
@@ -882,8 +1032,11 @@ func (s *Server) validateBatch(req *batchRequest) error {
 		}
 	}
 	for _, e := range req.Edges {
-		if e.Edge < 0 || int(e.Edge) >= s.numEdges {
-			return fmt.Errorf("edge update: edge %d out of range [0,%d)", e.Edge, s.numEdges)
+		if e.Edge < 0 || int(e.Edge) >= edgeSpace {
+			return fmt.Errorf("edge update: edge %d out of range [0,%d)", e.Edge, edgeSpace)
+		}
+		if !alive(roadknn.EdgeID(e.Edge)) {
+			return fmt.Errorf("edge update: edge %d is not live", e.Edge)
 		}
 		if !(e.W > 0) || math.IsInf(e.W, 1) { // rejects NaN, zero, negative, +Inf
 			return fmt.Errorf("edge %d: weight must be finite and positive, got %v", e.Edge, e.W)
@@ -1026,12 +1179,16 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		s.handleDeltaBinary(w, r)
 		return
 	}
+	only, ok := parseQueriesFilter(w, r)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	sinceStr := q.Get("since")
 	s.reads.Add(1)
 	if sinceStr == "" {
 		snap := s.eng.Snapshot()
-		sj := snapshotToJSON(snap)
+		sj := snapshotToJSONFiltered(snap, only)
 		w.Header().Set(epochHeader, strconv.FormatUint(snap.Epoch(), 10))
 		writeJSON(w, deltaPollJSON{Epoch: snap.Epoch(), Resync: &sj})
 		return
@@ -1057,13 +1214,18 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case resync != nil:
 		resp.Epoch = resync.Epoch()
-		sj := snapshotToJSON(resync)
+		sj := snapshotToJSONFiltered(resync, only)
 		resp.Resync = &sj
 	case len(deltas) > 0:
+		// The cursor advances over the whole chain even when filtering
+		// leaves nothing to send: a skipped delta carries zero changes for
+		// the subscribed queries.
 		resp.Epoch = deltas[len(deltas)-1].Epoch()
 		resp.Deltas = make([]deltaJSON, 0, len(deltas))
 		for _, d := range deltas {
-			resp.Deltas = append(resp.Deltas, deltaToJSON(d))
+			if fd := filterDelta(d, only); fd != nil {
+				resp.Deltas = append(resp.Deltas, deltaToJSON(fd))
+			}
 		}
 	default:
 		// Timeout with nothing newer: report the newest available epoch so
@@ -1089,6 +1251,10 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	only, ok := parseQueriesFilter(w, r)
+	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -1126,7 +1292,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		last = v
 	} else {
 		snap := s.eng.Snapshot()
-		if !emit("resync", snapshotToJSON(snap)) {
+		if !emit("resync", snapshotToJSONFiltered(snap, only)) {
 			return
 		}
 		last = snap.Epoch()
@@ -1152,14 +1318,18 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 				s.broker.evicted.Add(1)
 				return
 			}
-			if !emit("resync", snapshotToJSON(resync)) {
+			if !emit("resync", snapshotToJSONFiltered(resync, only)) {
 				return
 			}
 			last = resync.Epoch()
 		case len(deltas) > 0:
 			strikes = 0
 			for _, d := range deltas {
-				if !emit("delta", deltaToJSON(d)) {
+				fd := filterDelta(d, only)
+				if fd == nil {
+					continue // no changes for the subscribed queries
+				}
+				if !emit("delta", deltaToJSON(fd)) {
 					return
 				}
 			}

@@ -60,6 +60,16 @@ func scriptTick(s *Server, t int) {
 		if t%4 == 1 {
 			b.Edge(roadknn.EdgeID(t%30), 1.5+float64(t)/10)
 		}
+		// Topology churn: edge 97 dies on even ticks and the next odd tick's
+		// insertion reuses its id off the freelist, so every WAL/checkpoint
+		// replay must reproduce the id assignment exactly.
+		if t >= 2 {
+			if t%2 == 0 {
+				b.RemoveEdge(97)
+			} else {
+				b.AddEdge(roadknn.NodeID((t*3)%40), roadknn.NodeID((t*3+7)%40), 1.2+float64(t%4))
+			}
+		}
 	})
 	s.Tick()
 }
@@ -113,10 +123,17 @@ func TestServeCloseFlushesPending(t *testing.T) {
 	scriptTick(s, 1)
 	scriptTick(s, 2)
 	// Ingest without ticking, then shut down: the updates must survive.
+	// scriptTick(2) removed edge 97, so the pending insertion here must be
+	// re-assigned id 97 off the freelist when the flushed batch replays.
+	var pendingEdge roadknn.EdgeID
 	ingest(s, func(b *Batcher) {
 		b.Object(77, roadknn.Position{Edge: 3, Frac: 0.5})
 		b.Query(9, 2, roadknn.Position{Edge: 3, Frac: 0.4})
+		pendingEdge = b.AddEdge(10, 20, 2.5)
 	})
+	if pendingEdge != 97 {
+		t.Fatalf("pending insertion assigned edge %d, want the freed 97", pendingEdge)
+	}
 	s.Close()
 
 	s2, _, rec2 := newWALServer(t, mem, 0)
@@ -136,6 +153,9 @@ func TestServeCloseFlushesPending(t *testing.T) {
 	snap := s2.Tick()
 	if res, ok := snap.Lookup(9); !ok || len(res) == 0 {
 		t.Fatalf("flushed pending query lost: ok=%v res=%v", ok, res)
+	}
+	if !s2.batch.TopoAlive(97) {
+		t.Fatal("flushed pending edge insertion lost")
 	}
 }
 

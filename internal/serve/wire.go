@@ -20,15 +20,15 @@ import (
 // Three content types are negotiated (see Server.handleUpdates):
 //
 //   - application/json: the original batchRequest document;
-//   - application/x-ndjson: one JSON record per line, each {"obj":{...}},
-//     {"qry":{...}} or {"edge":{...}} — append-friendly for producers that
-//     emit reports as they happen;
+//   - application/x-ndjson: one JSON record per line, each {"top":{...}},
+//     {"obj":{...}}, {"qry":{...}} or {"edge":{...}} — append-friendly for
+//     producers that emit reports as they happen;
 //   - application/x-roadknn-updates (or application/octet-stream): the
 //     binary stream below — the wire-speed path.
 //
 // Binary stream layout. A body starts with an 8-byte header:
 //
-//	"RKUP" | u32 version (=1)
+//	"RKUP" | u32 version (=2; v1 bodies still decode)
 //
 // followed by one or more frames, each framed exactly like a WAL record:
 //
@@ -42,6 +42,13 @@ import (
 //	        | u32 nQueries | per query:  i32 id | u8 flags (1 = end) |
 //	                                     i32 k | i32 edge | f64 frac
 //	        | u32 nEdges   | per edge:   i32 edge | f64 w
+//	        | u32 nTopo    | per op:     u8 op (0 = add, 1 = remove) |
+//	                                     i32 edge (-1 = unasserted) |
+//	                                     i32 u | i32 v | f64 w
+//
+// The topology section trails the frame so v1 frames (which end after the
+// edges) still decode; like the JSON form, topology ops apply before every
+// other report in the batch regardless of wire order.
 //
 // All integers are little-endian; the CRC is crc32 Castagnoli, the WAL's
 // polynomial. Frames in one body accumulate into a single logical batch
@@ -51,15 +58,16 @@ import (
 
 const (
 	wireMagic   = "RKUP"
-	wireVersion = 1
+	wireVersion = 2 // v2 appended the topology section; v1 bodies still decode
 	wireHdrLen  = 8
 	wireBatch   = 1 // frame type: one update batch
 
-	// wireObjBytes/wireQryBytes/wireEdgeBytes are the encoded sizes of one
-	// report, used for frame sizing and count sanity checks.
+	// wireObjBytes/wireQryBytes/wireEdgeBytes/wireTopoBytes are the encoded
+	// sizes of one report, used for frame sizing and count sanity checks.
 	wireObjBytes  = 8 + 1 + 4 + 8
 	wireQryBytes  = 4 + 1 + 4 + 4 + 8
 	wireEdgeBytes = 4 + 8
+	wireTopoBytes = 1 + 4 + 4 + 4 + 8
 
 	// wireMaxFrame bounds one frame's declared payload length so a corrupt
 	// length field cannot force a huge allocation before the CRC check.
@@ -82,7 +90,8 @@ func AppendWireHeader(buf []byte) []byte {
 
 // AppendWireBatch appends req as one framed binary batch to buf.
 func AppendWireBatch(buf []byte, req *batchRequest) []byte {
-	payload := 1 + 12 + len(req.Objects)*wireObjBytes + len(req.Queries)*wireQryBytes + len(req.Edges)*wireEdgeBytes
+	payload := 1 + 16 + len(req.Objects)*wireObjBytes + len(req.Queries)*wireQryBytes +
+		len(req.Edges)*wireEdgeBytes + len(req.Topology)*wireTopoBytes
 	// Frame header placeholder; filled in once the payload is known.
 	base := len(buf)
 	buf = append(buf, make([]byte, 8)...)
@@ -115,6 +124,27 @@ func AppendWireBatch(buf []byte, req *batchRequest) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Edge))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.W))
 	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Topology)))
+	for _, tp := range req.Topology {
+		// An op string other than add/remove encodes as 255, which the
+		// decoder rejects — a client bug must not silently become an add.
+		op := byte(255)
+		switch tp.Op {
+		case topoOpAdd:
+			op = 0
+		case topoOpRemove:
+			op = 1
+		}
+		buf = append(buf, op)
+		edge := int32(-1)
+		if tp.Edge != nil {
+			edge = *tp.Edge
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(edge))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tp.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tp.V))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(tp.W))
+	}
 	binary.LittleEndian.PutUint32(buf[base:], uint32(payload))
 	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(buf[base+8:], wireCRC))
 	return buf
@@ -126,9 +156,15 @@ func EncodeWire(req *batchRequest) []byte {
 	return AppendWireBatch(AppendWireHeader(nil), req)
 }
 
-// WriteNDJSON writes req as NDJSON records, one report per line.
+// WriteNDJSON writes req as NDJSON records, one report per line. Topology
+// ops lead, matching the order they apply in.
 func WriteNDJSON(w io.Writer, req *batchRequest) error {
 	enc := json.NewEncoder(w)
+	for i := range req.Topology {
+		if err := enc.Encode(ndjsonRecord{Top: &req.Topology[i]}); err != nil {
+			return err
+		}
+	}
 	for i := range req.Objects {
 		if err := enc.Encode(ndjsonRecord{Obj: &req.Objects[i]}); err != nil {
 			return err
@@ -149,6 +185,7 @@ func WriteNDJSON(w io.Writer, req *batchRequest) error {
 
 // ndjsonRecord is one NDJSON line: exactly one field set.
 type ndjsonRecord struct {
+	Top  *topoReport   `json:"top,omitempty"`
 	Obj  *objectReport `json:"obj,omitempty"`
 	Qry  *queryReport  `json:"qry,omitempty"`
 	Edge *edgeReport   `json:"edge,omitempty"`
@@ -171,6 +208,7 @@ var wirePool = sync.Pool{New: func() any { return &wireScratch{} }}
 // getWireScratch leases a scratch with an empty (capacity-retaining) batch.
 func getWireScratch(r io.Reader) *wireScratch {
 	sc := wirePool.Get().(*wireScratch)
+	sc.req.Topology = sc.req.Topology[:0]
 	sc.req.Objects = sc.req.Objects[:0]
 	sc.req.Queries = sc.req.Queries[:0]
 	sc.req.Edges = sc.req.Edges[:0]
@@ -222,7 +260,7 @@ func (sc *wireScratch) decodeWire() error {
 	if string(sc.hdr[:4]) != wireMagic {
 		return wireErrf("bad stream magic %q", sc.hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(sc.hdr[4:]); v != wireVersion {
+	if v := binary.LittleEndian.Uint32(sc.hdr[4:]); v < 1 || v > wireVersion {
 		return wireErrf("unsupported stream version %d", v)
 	}
 	frames := 0
@@ -291,6 +329,29 @@ func (sc *wireScratch) decodeFrame(p []byte) error {
 		e.W = d.f64()
 		sc.req.Edges = append(sc.req.Edges, e)
 	}
+	// Topology trails the frame; v1 frames end after the edges.
+	if d.err == nil && d.off < len(p) {
+		nTopo := d.count(wireTopoBytes)
+		for i := 0; i < nTopo && d.err == nil; i++ {
+			var tp topoReport
+			switch op := d.byte(); op {
+			case 0:
+				tp.Op = topoOpAdd
+			case 1:
+				tp.Op = topoOpRemove
+			default:
+				return wireErrf("unknown topology op %d", op)
+			}
+			if e := d.i32(); e >= 0 {
+				id := e
+				tp.Edge = &id
+			}
+			tp.U = d.i32()
+			tp.V = d.i32()
+			tp.W = d.f64()
+			sc.req.Topology = append(sc.req.Topology, tp)
+		}
+	}
 	if d.err != nil {
 		return d.err
 	}
@@ -318,6 +379,10 @@ func (sc *wireScratch) decodeNDJSON() error {
 		}
 		line++
 		set := 0
+		if rec.Top != nil {
+			sc.req.Topology = append(sc.req.Topology, *rec.Top)
+			set++
+		}
 		if rec.Obj != nil {
 			sc.req.Objects = append(sc.req.Objects, *rec.Obj)
 			set++
@@ -331,7 +396,7 @@ func (sc *wireScratch) decodeNDJSON() error {
 			set++
 		}
 		if set != 1 {
-			return wireErrf("record %d: want exactly one of obj/qry/edge, got %d", line, set)
+			return wireErrf("record %d: want exactly one of top/obj/qry/edge, got %d", line, set)
 		}
 	}
 }
@@ -410,6 +475,17 @@ func (d *wireDecoder) count(minElem int) int {
 // benchmark (internal/workload) and of binary feed tools.
 func EncodeUpdates(encoding string, u core.Updates) ([]byte, error) {
 	req := &batchRequest{}
+	for _, tp := range u.Topology {
+		r := topoReport{Op: topoOpAdd, U: int32(tp.U), V: int32(tp.V), W: tp.W}
+		if tp.Op == core.TopoRemove {
+			r.Op = topoOpRemove
+		}
+		if tp.Edge >= 0 {
+			id := int32(tp.Edge)
+			r.Edge = &id
+		}
+		req.Topology = append(req.Topology, r)
+	}
 	for _, o := range u.Objects {
 		if o.Delete {
 			req.Objects = append(req.Objects, objectReport{ID: int64(o.ID), Delete: true})
@@ -467,5 +543,5 @@ func DecodeUpdates(encoding string, body []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(sc.req.Objects) + len(sc.req.Queries) + len(sc.req.Edges), nil
+	return len(sc.req.Topology) + len(sc.req.Objects) + len(sc.req.Queries) + len(sc.req.Edges), nil
 }

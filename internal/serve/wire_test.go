@@ -245,7 +245,17 @@ func FuzzDecodeUpdates(f *testing.F) {
 func randomBatch(rng *rand.Rand, n int) *batchRequest {
 	req := &batchRequest{}
 	for i := 0; i < n; i++ {
-		switch rng.Intn(3) {
+		switch rng.Intn(4) {
+		case 3:
+			tp := topoReport{Op: topoOpAdd, U: rng.Int31(), V: rng.Int31(), W: rng.NormFloat64()}
+			if rng.Intn(2) == 0 {
+				tp.Op = topoOpRemove
+			}
+			if rng.Intn(2) == 0 {
+				e := rng.Int31() // non-negative: -1 is the no-assertion sentinel
+				tp.Edge = &e
+			}
+			req.Topology = append(req.Topology, tp)
 		case 0:
 			req.Objects = append(req.Objects, objectReport{
 				ID: rng.Int63() - rng.Int63(), Edge: int32(rng.Int31()), Frac: rng.NormFloat64(), Delete: rng.Intn(2) == 0,
@@ -264,8 +274,19 @@ func randomBatch(rng *rand.Rand, n int) *batchRequest {
 // batchesEqual compares two batches with float equality by bit pattern
 // (NaN payloads must survive the codec unchanged).
 func batchesEqual(a, b *batchRequest) bool {
-	if len(a.Objects) != len(b.Objects) || len(a.Queries) != len(b.Queries) || len(a.Edges) != len(b.Edges) {
+	if len(a.Topology) != len(b.Topology) ||
+		len(a.Objects) != len(b.Objects) || len(a.Queries) != len(b.Queries) || len(a.Edges) != len(b.Edges) {
 		return false
+	}
+	for i := range a.Topology {
+		x, y := a.Topology[i], b.Topology[i]
+		if x.Op != y.Op || x.U != y.U || x.V != y.V ||
+			math.Float64bits(x.W) != math.Float64bits(y.W) {
+			return false
+		}
+		if (x.Edge == nil) != (y.Edge == nil) || (x.Edge != nil && *x.Edge != *y.Edge) {
+			return false
+		}
 	}
 	for i := range a.Objects {
 		x, y := a.Objects[i], b.Objects[i]

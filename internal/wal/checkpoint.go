@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"roadknn/internal/core"
 	"roadknn/internal/graph"
 	"roadknn/internal/roadnet"
 )
@@ -22,6 +23,16 @@ type Checkpoint struct {
 	Objects []ObjectState
 	Queries []QueryState
 	Edges   []EdgeState
+
+	// Topology is the ordered log of every edge insertion/removal applied
+	// since the network file was loaded. Recovery replays it first — before
+	// object positions, query registrations and edge overrides, all of
+	// which may reference edge ids that only exist after the edits (the
+	// freelist reuses ids deterministically, so replaying the ops in order
+	// reconstructs the exact edge set). Insertions carry the id that was
+	// assigned, so replay divergence is detected instead of silently
+	// corrupting the id space.
+	Topology []core.TopologyUpdate
 
 	// Snapshot is the engine's result snapshot in core's canonical binary
 	// encoding, used to verify the rebuilt engine bit-for-bit.
@@ -49,7 +60,7 @@ type EdgeState struct {
 
 const (
 	ckptMagic   = "RKCP"
-	ckptVersion = 1
+	ckptVersion = 2 // v2 appended the topology op log; v1 files still decode
 )
 
 // encodeCheckpoint serializes c as one self-verifying file image.
@@ -77,6 +88,15 @@ func encodeCheckpoint(c *Checkpoint) []byte {
 	}
 	body = appendU32(body, uint32(len(c.Snapshot)))
 	body = append(body, c.Snapshot...)
+	// v2: the topology op log trails the snapshot.
+	body = appendU32(body, uint32(len(c.Topology)))
+	for _, tp := range c.Topology {
+		body = append(body, byte(tp.Op))
+		body = appendI32(body, int32(tp.Edge))
+		body = appendI32(body, int32(tp.U))
+		body = appendI32(body, int32(tp.V))
+		body = appendF64(body, tp.W)
+	}
 
 	out := make([]byte, 0, 16+len(body))
 	out = append(out, ckptMagic...)
@@ -96,7 +116,7 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	}
 	hd := &decoder{buf: data, off: 4}
 	ver := hd.u32()
-	if ver != ckptVersion {
+	if ver < 1 || ver > ckptVersion {
 		return nil, fmt.Errorf("wal: unsupported checkpoint version %d", ver)
 	}
 	blen := int(hd.u32())
@@ -145,6 +165,25 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 		if d.need(slen) {
 			c.Snapshot = append([]byte(nil), d.buf[d.off:d.off+slen]...)
 			d.off += slen
+		}
+	}
+	if ver >= 2 {
+		if n := d.count(21); n > 0 && d.err == nil {
+			c.Topology = make([]core.TopologyUpdate, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				var tp core.TopologyUpdate
+				op := d.byte()
+				if op > byte(core.TopoRemove) {
+					d.fail("wal: checkpoint: unknown topology op %d", op)
+					break
+				}
+				tp.Op = core.TopologyOp(op)
+				tp.Edge = graph.EdgeID(d.i32())
+				tp.U = graph.NodeID(d.i32())
+				tp.V = graph.NodeID(d.i32())
+				tp.W = d.f64()
+				c.Topology = append(c.Topology, tp)
+			}
 		}
 	}
 	if err := d.done(); err != nil {

@@ -107,6 +107,17 @@ func appendUpdates(b []byte, u core.Updates) []byte {
 		b = appendI32(b, int32(e.Edge))
 		b = appendF64(b, e.NewW)
 	}
+	// Topology trails the record so segments written before live network
+	// editing existed (no section at all) still decode, with an empty op
+	// list. New writers always emit the section, even when it is empty.
+	b = appendU32(b, uint32(len(u.Topology)))
+	for _, tp := range u.Topology {
+		b = append(b, byte(tp.Op))
+		b = appendI32(b, int32(tp.Edge))
+		b = appendI32(b, int32(tp.U))
+		b = appendI32(b, int32(tp.V))
+		b = appendF64(b, tp.W)
+	}
 	return b
 }
 
@@ -213,6 +224,27 @@ func (d *decoder) updates() core.Updates {
 			e.Edge = graph.EdgeID(d.i32())
 			e.NewW = d.f64()
 			u.Edges = append(u.Edges, e)
+		}
+	}
+	// Topology section is optional: records written before live network
+	// editing end here.
+	if d.err == nil && d.off < len(d.buf) {
+		if n := d.count(21); n > 0 && d.err == nil {
+			u.Topology = make([]core.TopologyUpdate, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				var tp core.TopologyUpdate
+				op := d.byte()
+				if op > byte(core.TopoRemove) {
+					d.fail("wal: unknown topology op %d", op)
+					break
+				}
+				tp.Op = core.TopologyOp(op)
+				tp.Edge = graph.EdgeID(d.i32())
+				tp.U = graph.NodeID(d.i32())
+				tp.V = graph.NodeID(d.i32())
+				tp.W = d.f64()
+				u.Topology = append(u.Topology, tp)
+			}
 		}
 	}
 	return u

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -488,6 +489,57 @@ func (l *Log) CheckpointImage() ([]byte, uint64, error) {
 	}
 	return data, l.ckStamp, nil
 }
+
+// CheckpointReader opens the newest checkpoint for streaming: the reader
+// yields the same self-verifying image CheckpointImage buffers, without
+// holding it in memory. The returned size is declared by the image's own
+// length header, so a consumer can detect a torn transfer; DecodeCheckpoint
+// re-checks the CRC regardless. Returns (nil, 0, 0, nil) when no checkpoint
+// exists yet.
+func (l *Log) CheckpointReader() (io.ReadCloser, int64, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ckStamp == 0 {
+		return nil, 0, 0, nil
+	}
+	r, err := l.fs.Open(checkpointName(l.ckStamp))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		r.Close()
+		return nil, 0, 0, fmt.Errorf("wal: checkpoint header: %w", err)
+	}
+	if string(hdr[:4]) != ckptMagic {
+		r.Close()
+		return nil, 0, 0, fmt.Errorf("wal: bad checkpoint magic %q", hdr[:4])
+	}
+	blen := int64(binary.LittleEndian.Uint32(hdr[8:12]))
+	if blen > maxRecordLen {
+		r.Close()
+		return nil, 0, 0, fmt.Errorf("wal: checkpoint body length %d exceeds the record cap", blen)
+	}
+	return &checkpointStream{hdr: hdr[:], r: r}, 16 + blen, l.ckStamp, nil
+}
+
+// checkpointStream replays the peeked header bytes before the rest of the
+// file.
+type checkpointStream struct {
+	hdr []byte
+	r   io.ReadCloser
+}
+
+func (c *checkpointStream) Read(p []byte) (int, error) {
+	if len(c.hdr) > 0 {
+		n := copy(p, c.hdr)
+		c.hdr = c.hdr[n:]
+		return n, nil
+	}
+	return c.r.Read(p)
+}
+
+func (c *checkpointStream) Close() error { return c.r.Close() }
 
 // SnapshotCRC is the checksum used in tick records, exposed so the
 // serving layer and the log agree on the polynomial.

@@ -47,6 +47,13 @@ type Config struct {
 	QrySigma    float64 // Gaussian sigma fraction for queries (paper: 10%)
 	K           int     // NNs per query
 	EdgeAgility float64 // f_edg: fraction of edges updated per ts (+-10%)
+	// TopoAgility is f_top: the fraction of the edge space structurally
+	// edited per timestamp, alternating removals of random live edges with
+	// insertions between random node pairs (removed ids return through the
+	// freelist, so the edge space stays roughly constant). At least one
+	// edit per timestamp when > 0. RandomWalk movement only: the Brinkhoff
+	// simulators precompute routes over a fixed network.
+	TopoAgility float64
 	ObjAgility  float64 // f_obj: fraction of objects moving per ts
 	ObjSpeed    float64 // v_obj: distance per move, in avg edge lengths
 	QryAgility  float64 // f_qry
@@ -284,6 +291,15 @@ func (r *Runner) GenerateStep() core.Updates {
 			if r.rng.Float64() >= cfg.QryAgility {
 				continue
 			}
+			// Under topology churn the engine may have re-snapped this query
+			// off a removed edge; walk from the same re-snapped position.
+			if !r.net.G.EdgeAlive(r.qPos[i].Edge) {
+				np, ok := r.net.Resnap(r.qPos[i])
+				if !ok {
+					continue
+				}
+				r.qPos[i] = np
+			}
 			np := r.net.RandomWalk(r.qPos[i], cfg.QrySpeed*r.avgLen, 0, r.rng)
 			r.qPos[i] = np
 			u.Queries = append(u.Queries, core.QueryUpdate{ID: core.QueryID(i), New: np})
@@ -294,6 +310,9 @@ func (r *Runner) GenerateStep() core.Updates {
 	nUpd := int(cfg.EdgeAgility * float64(m))
 	for i := 0; i < nUpd; i++ {
 		eid := graph.EdgeID(r.rng.Intn(m))
+		if !r.net.G.EdgeAlive(eid) {
+			continue // tombstoned id: the batch carries slightly fewer updates
+		}
 		w := r.net.G.Edge(eid).W
 		if r.rng.Intn(2) == 0 {
 			w *= 0.9
@@ -301,6 +320,60 @@ func (r *Runner) GenerateStep() core.Updates {
 			w *= 1.1
 		}
 		u.Edges = append(u.Edges, core.EdgeUpdate{Edge: eid, NewW: w})
+	}
+
+	// Topology churn last, so the edits can avoid every edge the rest of
+	// the batch references: the engine applies topology first, and a move
+	// or weight update addressing an edge removed in the same batch would
+	// be an invalid stream (the serving front door rejects exactly that).
+	if cfg.TopoAgility > 0 {
+		if cfg.Movement == Brinkhoff {
+			panic("workload: TopoAgility requires RandomWalk movement")
+		}
+		used := make(map[graph.EdgeID]bool)
+		for _, o := range u.Objects {
+			used[o.Old.Edge] = true
+			used[o.New.Edge] = true
+		}
+		for _, q := range u.Queries {
+			used[q.New.Edge] = true
+		}
+		for _, e := range u.Edges {
+			used[e.Edge] = true
+		}
+		nTopo := int(cfg.TopoAgility * float64(m))
+		if nTopo < 1 {
+			nTopo = 1
+		}
+		removed := 0
+		for i := 0; i < nTopo; i++ {
+			if i%2 == 0 {
+				for tries := 0; tries < 128; tries++ {
+					eid := graph.EdgeID(r.rng.Intn(m))
+					if used[eid] || !r.net.G.EdgeAlive(eid) ||
+						r.net.G.NumLiveEdges()-removed <= 1 {
+						continue
+					}
+					used[eid] = true // no double-removal within the batch
+					removed++
+					u.Topology = append(u.Topology, core.TopologyUpdate{
+						Op: core.TopoRemove, Edge: eid,
+					})
+					break
+				}
+			} else {
+				nn := r.net.G.NumNodes()
+				a := graph.NodeID(r.rng.Intn(nn))
+				b := graph.NodeID(r.rng.Intn(nn))
+				if a == b {
+					b = graph.NodeID((int(b) + 1) % nn)
+				}
+				u.Topology = append(u.Topology, core.TopologyUpdate{
+					Op: core.TopoAdd, Edge: graph.NoEdge,
+					U: a, V: b, W: r.avgLen * (0.5 + r.rng.Float64()),
+				})
+			}
+		}
 	}
 	return u
 }

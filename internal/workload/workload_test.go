@@ -117,6 +117,58 @@ func TestEnginesAgreeUnderWorkload(t *testing.T) {
 	}
 }
 
+// TestEnginesAgreeUnderTopologyChurn extends the cross-engine agreement
+// check with live network editing: every timestamp structurally edits the
+// network (TopoAgility) on top of the usual churn, and all three engines
+// must still agree on every result.
+func TestEnginesAgreeUnderTopologyChurn(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Timestamps = 8
+	cfg.TopoAgility = 0.02 // >= 1 edit per timestamp on the tiny network
+	r1, _ := NewRunner(cfg, func(n *roadnet.Network) core.Engine { return core.NewOVH(n) })
+	r2, _ := NewRunner(cfg, func(n *roadnet.Network) core.Engine { return core.NewIMA(n) })
+	r3, _ := NewRunner(cfg, func(n *roadnet.Network) core.Engine { return core.NewGMA(n) })
+	edits := 0
+	for ts := 0; ts < cfg.Timestamps; ts++ {
+		u := r1.GenerateStep()
+		r2.GenerateStep() // keep rng in sync
+		r3.GenerateStep()
+		edits += len(u.Topology)
+		r1.Engine().Step(u)
+		r2.Engine().Step(u)
+		r3.Engine().Step(u)
+	}
+	if edits == 0 {
+		t.Fatal("TopoAgility produced no edits")
+	}
+	for q := 0; q < cfg.NumQueries; q++ {
+		a := r1.Engine().Result(core.QueryID(q))
+		b := r2.Engine().Result(core.QueryID(q))
+		c := r3.Engine().Result(core.QueryID(q))
+		if len(a) != len(b) || len(a) != len(c) {
+			t.Fatalf("query %d: result lengths differ (%d/%d/%d)", q, len(a), len(b), len(c))
+		}
+		for i := range a {
+			if diff(a[i].Dist, b[i].Dist) > 1e-6 || diff(a[i].Dist, c[i].Dist) > 1e-6 {
+				t.Fatalf("query %d entry %d: dists differ: %v / %v / %v", q, i, a[i], b[i], c[i])
+			}
+		}
+	}
+}
+
+func TestTopoAgilityRejectsBrinkhoff(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Movement = Brinkhoff
+	cfg.TopoAgility = 0.02
+	r, _ := NewRunner(cfg, func(n *roadnet.Network) core.Engine { return core.NewIMA(n) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopoAgility with Brinkhoff movement did not panic")
+		}
+	}()
+	r.GenerateStep()
+}
+
 func diff(a, b float64) float64 {
 	if a > b {
 		return a - b

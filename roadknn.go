@@ -100,10 +100,29 @@ type (
 	QueryUpdate = core.QueryUpdate
 	// EdgeUpdate reports an edge weight change.
 	EdgeUpdate = core.EdgeUpdate
+	// TopologyUpdate reports a live network edit: an edge insertion or
+	// removal applied at the next Step, before any other update kind.
+	TopologyUpdate = core.TopologyUpdate
+	// TopologyOp selects the kind of a TopologyUpdate.
+	TopologyOp = core.TopologyOp
 	// Options configures engine construction. The zero value selects the
 	// defaults (worker pool sized to runtime.GOMAXPROCS).
 	Options = core.Options
 )
+
+// Topology update operations and sentinels.
+const (
+	// TopoAdd inserts an edge between two existing nodes.
+	TopoAdd = core.TopoAdd
+	// TopoRemove deletes an edge; resident objects and stranded queries
+	// re-snap onto the nearest live edge.
+	TopoRemove = core.TopoRemove
+)
+
+// NoEdge is the sentinel edge id carried by a TopoAdd whose assigned id is
+// not known in advance (engines assign deterministically and skip the
+// cross-check).
+const NoEdge = graph.NoEdge
 
 // NewOVH returns the overhaul baseline engine over net with default
 // options.
