@@ -42,6 +42,8 @@ type jsonResult struct {
 	Unit          string          `json:"unit"`
 	Value         float64         `json:"value"`
 	NsPerStep     float64         `json:"ns_per_step"`
+	P50NsPerStep  float64         `json:"p50_ns_per_step,omitempty"`
+	P99NsPerStep  float64         `json:"p99_ns_per_step,omitempty"`
 	AllocsPerStep float64         `json:"allocs_per_step"`
 	BytesPerStep  float64         `json:"bytes_per_step"`
 	SizeBytes     int             `json:"size_bytes"`
@@ -56,6 +58,7 @@ type jsonResult struct {
 	SnapshotBytes float64         `json:"snapshot_bytes_per_epoch,omitempty"`
 	Followers     int             `json:"followers,omitempty"`
 	ReplLagMs     float64         `json:"repl_lag_ms,omitempty"`
+	PlannerMigr   uint64          `json:"planner_migrations,omitempty"`
 	Config        workload.Config `json:"config"`
 }
 
@@ -231,6 +234,8 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 					Unit:          unit,
 					Value:         v,
 					NsPerStep:     res.AvgStepSeconds * 1e9,
+					P50NsPerStep:  res.P50StepSeconds * 1e9,
+					P99NsPerStep:  res.P99StepSeconds * 1e9,
 					AllocsPerStep: res.AvgStepAllocs,
 					BytesPerStep:  res.AvgStepBytes,
 					SizeBytes:     res.AvgSizeBytes,
@@ -245,6 +250,7 @@ func runExperiment(e *experiments.Experiment, scale float64, ts int, csvFile *os
 					SnapshotBytes: res.SnapshotBytesPerEpoch,
 					Followers:     res.Followers,
 					ReplLagMs:     res.ReplLagMs,
+					PlannerMigr:   res.PlannerMigrations,
 					Config:        p.Cfg,
 				})
 			}

@@ -24,7 +24,15 @@
 // process stopped (healthz answers 503 "recovering" until replay
 // finishes). -fsync picks the durability/throughput trade-off: "always"
 // fsyncs every record, "tick" (default) once per tick, "never" leaves
-// flushing to the OS.
+// flushing to the OS, and "interval=<duration>" syncs from a background
+// timer — bounding loss on power failure to one interval of ticks while
+// keeping the append path free of fsyncs.
+//
+// -engine auto runs the adaptive planner: queries are partitioned into
+// spatial groups and each group is routed to whichever of IMA/GMA a cost
+// model predicts is cheaper, re-planned online as density shifts.
+// /v1/stats exposes a "planner" block with per-group costs and migration
+// counters.
 //
 //	monitor -net net.json -engine ima -serve 127.0.0.1:8080 \
 //	        -wal-dir /var/lib/monitor/wal -checkpoint-every 60 -fsync tick
@@ -93,13 +101,13 @@ import (
 func main() {
 	var (
 		netFile = flag.String("net", "", "network JSON file (required)")
-		engine  = flag.String("engine", "ima", "monitoring engine: ovh, ima or gma")
+		engine  = flag.String("engine", "ima", "monitoring engine: ovh, ima, gma or auto (adaptive planner)")
 		workers = flag.Int("workers", 0, "worker-pool size for per-query work (0 = all CPUs, 1 = serial)")
 		addr    = flag.String("serve", "", "serve an HTTP/JSON front-end on this address instead of replaying stdin")
 		tick    = flag.Duration("tick", 100*time.Millisecond, "serve mode: stepping period (0 = step only on POST /v1/tick)")
 		walDir  = flag.String("wal-dir", "", "serve mode: directory for the write-ahead log (enables crash recovery)")
 		ckEvery = flag.Int("checkpoint-every", 60, "serve mode: write a checkpoint every N ticks (0 = never; needs -wal-dir)")
-		fsync   = flag.String("fsync", "tick", "serve mode: WAL fsync policy: always, tick or never")
+		fsync   = flag.String("fsync", "tick", "serve mode: WAL fsync policy: always, tick, never or interval=<duration>")
 		follow  = flag.String("follow", "", "follower mode: primary base URL to replicate from (needs -serve)")
 		repl    = flag.String("replicate", "", "router mode: comma-separated follower base URLs to balance reads across (needs -serve)")
 		primary = flag.String("primary", "", "router mode: primary base URL for forwarded writes")
@@ -128,7 +136,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "monitor: -follow requires -serve and excludes -wal-dir")
 		os.Exit(1)
 	}
-	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
+	syncPolicy, syncEvery, err := wal.ParseSyncSpec(*fsync)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 		os.Exit(1)
@@ -149,6 +157,8 @@ func main() {
 		srv = roadknn.NewIMAWith(net, opts)
 	case "gma":
 		srv = roadknn.NewGMAWith(net, opts)
+	case "auto":
+		srv = roadknn.NewAutoWith(net, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "monitor: unknown engine %q\n", *engine)
 		os.Exit(1)
@@ -162,7 +172,7 @@ func main() {
 		return
 	}
 	if *addr != "" {
-		if err := serveHTTP(srv, *addr, *tick, *walDir, *ckEvery, syncPolicy); err != nil {
+		if err := serveHTTP(srv, *addr, *tick, *walDir, *ckEvery, wal.Options{Sync: syncPolicy, SyncEvery: syncEvery}); err != nil {
 			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,11 +188,11 @@ func main() {
 // directory the listener comes up first — /healthz reports "recovering"
 // (503) while the log replays — and the wall-clock stepper starts only
 // once the engine is rebuilt.
-func serveHTTP(eng roadknn.Engine, addr string, tick time.Duration, walDir string, ckEvery int, sync wal.SyncPolicy) error {
+func serveHTTP(eng roadknn.Engine, addr string, tick time.Duration, walDir string, ckEvery int, wopts wal.Options) error {
 	cfg := serve.Config{Tick: tick}
 	var rec *wal.Recovery
 	if walDir != "" {
-		l, r, err := wal.OpenDir(walDir, wal.Options{Sync: sync})
+		l, r, err := wal.OpenDir(walDir, wopts)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}

@@ -215,6 +215,18 @@ func (e *GMA) Queries() []QueryID {
 	return out
 }
 
+// QueryPos returns the current position of a registered query. The engine
+// is authoritative: under topology churn it re-snaps queries off removed
+// edges, so this may differ from the position the query was registered or
+// last moved at. The adaptive planner reads it to place queries in spatial
+// groups.
+func (e *GMA) QueryPos(id QueryID) (roadnet.Position, bool) {
+	if q, ok := e.queries[id]; ok {
+		return q.pos, true
+	}
+	return roadnet.Position{}, false
+}
+
 // endpoints returns the distinct endpoints of q's sequence that need to be
 // active for q: endpoints with degree 1 (terminal nodes) are skipped, as
 // nothing lies beyond them (paper §5).

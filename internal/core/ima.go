@@ -118,6 +118,18 @@ func (e *IMA) Queries() []QueryID {
 	return out
 }
 
+// QueryPos returns the current position of a registered query. The engine
+// is authoritative: under topology churn it re-snaps queries off removed
+// edges, so this may differ from the position the query was registered or
+// last moved at. The adaptive planner reads it to place queries in spatial
+// groups.
+func (e *IMA) QueryPos(id QueryID) (roadnet.Position, bool) {
+	if m, ok := e.set.mons[id]; ok {
+		return m.pos, true
+	}
+	return roadnet.Position{}, false
+}
+
 // SizeBytes implements Engine.
 func (e *IMA) SizeBytes() int { return e.set.sizeBytes() }
 

@@ -54,6 +54,35 @@ type Options struct {
 	// change sets, a cost proportional to result churn that pure
 	// snapshot readers need not pay.
 	Deltas bool
+	// Planner tunes the adaptive AUTO engine (internal/planner), which
+	// wraps one IMA and one GMA child and routes spatial query groups to
+	// whichever the cost model predicts is cheaper. Ignored by the static
+	// engines.
+	Planner PlannerOptions
+}
+
+// PlannerOptions are the adaptive planner's knobs. The zero value selects
+// the defaults; all inputs to the planner's decisions are deterministic
+// counts of the replayed update stream (never wall-clock), so two planners
+// fed the same stream and knobs make identical migration decisions.
+type PlannerOptions struct {
+	// PlanEvery is the re-planning cadence in ticks: after every
+	// PlanEvery-th Step the planner re-evaluates the per-group cost model
+	// and migrates groups whose predicted-cheaper engine changed.
+	// 0 means the default (8); negative disables in-step re-planning
+	// (placements then change only at checkpoint Rebuilds).
+	PlanEvery int
+	// GridDepth is the quadtree-cell depth of the spatial grouping: queries
+	// are grouped into the 4^GridDepth fixed quadrant cells of the
+	// network's workspace. 0 means the default (3, i.e. 64 cells).
+	GridDepth int
+	// Margin is the migration hysteresis: an in-step re-plan moves a group
+	// only when the other engine's predicted cost is below Margin times the
+	// current owner's (0 means the default 0.85; 1 disables hysteresis).
+	// Checkpoint Rebuilds re-derive placements without hysteresis so a
+	// recovered or bootstrapped replica converges to the same placement
+	// regardless of pre-crash ownership history.
+	Margin float64
 }
 
 // workers resolves the configured worker count.

@@ -1,0 +1,42 @@
+package core
+
+import "iter"
+
+// ResultPublisher is the exported face of the engine-side snapshot
+// publisher, for engines that live outside this package (the adaptive
+// planner). A composite engine owns exactly one ResultPublisher — its
+// children are built non-serving — so readers see a single merged,
+// epoch-consistent result set with the same COW sharing, delta emission
+// and clock semantics as a static engine's publisher. All methods except
+// Snapshot must be called from the engine's single mutator goroutine.
+type ResultPublisher struct {
+	p publisher
+}
+
+// NewResultPublisher binds a publisher to the composite engine's result
+// accessor, exactly as the static engines bind theirs at construction.
+func NewResultPublisher(o Options, get func(QueryID) []Neighbor) *ResultPublisher {
+	rp := &ResultPublisher{}
+	rp.p.init(o, get)
+	return rp
+}
+
+// Tick records one applied Step (tracked whether or not serving is on).
+func (rp *ResultPublisher) Tick() { rp.p.tick() }
+
+// Timestamp returns how many ticks have been recorded.
+func (rp *ResultPublisher) Timestamp() uint64 { return rp.p.stamp }
+
+// Snapshot returns the latest published snapshot, or nil when serving is
+// disabled. Safe for concurrent use.
+func (rp *ResultPublisher) Snapshot() *Snapshot { return rp.p.snapshot() }
+
+// PublishSet publishes a snapshot over the query ids yielded by seq (the
+// composite engine's registered queries; order is irrelevant, the
+// publisher sorts).
+func (rp *ResultPublisher) PublishSet(seq iter.Seq[QueryID]) { rp.p.publishSet(seq) }
+
+// Restore seeds the publication clock after a recovery rebuild and
+// republishes the current results under the restored numbers (see
+// publisher.restore).
+func (rp *ResultPublisher) Restore(epoch, stamp uint64) { rp.p.restore(epoch, stamp) }

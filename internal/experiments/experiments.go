@@ -12,6 +12,7 @@ import (
 	"roadknn/internal/core"
 	"roadknn/internal/gen"
 	"roadknn/internal/graph"
+	"roadknn/internal/planner"
 	"roadknn/internal/roadnet"
 	"roadknn/internal/workload"
 )
@@ -71,6 +72,8 @@ func EngineFor(name string, workers int) func(*roadnet.Network) core.Engine {
 // for an unknown name.
 func EngineWith(name string, o core.Options) func(*roadnet.Network) core.Engine {
 	switch name {
+	case "AUTO":
+		return func(n *roadnet.Network) core.Engine { return planner.NewWith(n, o) }
 	case "OVH":
 		return func(n *roadnet.Network) core.Engine { return core.NewOVHWith(n, o) }
 	case "IMA":
@@ -384,9 +387,9 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 		e := Experiment{
 			ID: "wal", Title: "Durability: CPU time vs WAL fsync policy",
 			Param: "fsync", Metric: CPU, Engines: allEngines,
-			Shape: "never/tick cost a small constant per step (encode + write); always pays one fsync per batch",
+			Shape: "never/interval/tick cost a small constant per step (encode + write); always pays its fsync at the tick boundary; interval bounds crash loss without any fsync on the step path",
 		}
-		for _, mode := range []string{"off", "never", "tick", "always"} {
+		for _, mode := range []string{"off", "never", "interval=5ms", "tick", "always"} {
 			mode := mode
 			e.Points = append(e.Points, Point{mode, mk(func(c *workload.Config) {
 				if mode != "off" {
@@ -457,6 +460,44 @@ func All(scale float64, timestamps int, seed int64) []Experiment {
 				c.WALFsync = "never"
 				c.Followers = n
 				c.Readers = 2
+			})})
+		}
+		exps = append(exps, e)
+	}
+
+	// Planner P1: the adaptive engine — per-step cost of AUTO vs the two
+	// static engines across a mixed-density axis (not a paper figure;
+	// supports the ROADMAP's adaptive-planner goal). The x-axis is the
+	// share of load concentrated in one dense drifting hotspot: the
+	// sparse base population stays fixed (uniform, calm) while each step
+	// up the axis ADDS hotspot queries and object churn, the way a
+	// traffic hotspot adds load rather than redistributing it. At 0 the
+	// workload is pure IMA territory; at the high end the dense agile
+	// cluster's overlapping expansion trees make IMA reprocess the same
+	// churn once per tree and GMA wins. The slow drift drags the cluster
+	// across spatial groups so the planner must migrate it between
+	// engines mid-run; the migration count lands in the Result/JSON
+	// PlannerMigrations field. AUTO must track the better static engine
+	// at every point (steady-state p50; warmup registration and re-plan
+	// spikes land in p99).
+	{
+		e := Experiment{
+			ID: "pl", Title: "Adaptive planner: AUTO vs static engines across mixed density",
+			Param: "hotspot", Metric: CPU, Engines: []string{"AUTO", "IMA", "GMA"},
+			Shape: "IMA wins the sparse end, GMA the dense end; AUTO tracks the better static engine within ~1.1x at every point, consolidating onto one engine when the other side's share collapses, and migrates the drifting hotspot between engines mid-run",
+		}
+		for _, h := range []float64{0, 0.3, 0.6, 0.9} {
+			h := h
+			e.Points = append(e.Points, Point{fmt.Sprintf("%g%%", h*100), mk(func(c *workload.Config) {
+				// Uniform baseline: outside the hotspot, queries are
+				// genuinely sparse, so the sparse end of the axis is
+				// unambiguous engine territory.
+				c.QryDist = gen.Uniform
+				c.NumQueries = int(float64(c.NumQueries) / (1 - h))
+				c.ObjAgility = 0.1 + 0.33*h
+				c.HotspotFrac = h
+				c.HotspotRadius = 0.08
+				c.HotspotDrift = 0.005
 			})})
 		}
 		exps = append(exps, e)

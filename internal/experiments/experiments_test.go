@@ -14,9 +14,10 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	}
 	// +2 ablation experiments, +1 worker-scalability sweep, +1 concurrent-
 	// readers serving sweep, +1 WAL fsync-policy sweep, +1 ingestion/delta
-	// sweep, +1 replication sweep, +1 topology-churn sweep
-	if len(exps) != len(want)+8 {
-		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+8)
+	// sweep, +1 replication sweep, +1 topology-churn sweep, +1 adaptive-
+	// planner sweep
+	if len(exps) != len(want)+9 {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want)+9)
 	}
 	sw := ByID(exps, "sw")
 	if sw == nil {
@@ -67,6 +68,21 @@ func TestRegistryCoversAllFigures(t *testing.T) {
 	for _, p := range top.Points[1:] {
 		if p.Cfg.TopoAgility <= 0 {
 			t.Fatalf("top point %s has no topology churn", p.Label)
+		}
+	}
+	pl := ByID(exps, "pl")
+	if pl == nil {
+		t.Fatal("missing adaptive-planner sweep")
+	}
+	if pl.Engines[0] != "AUTO" {
+		t.Fatalf("pl sweep engines %v, want AUTO first", pl.Engines)
+	}
+	if pl.Points[0].Cfg.HotspotFrac != 0 {
+		t.Fatalf("pl baseline point has a hotspot: %+v", pl.Points[0].Cfg)
+	}
+	for _, p := range pl.Points[1:] {
+		if p.Cfg.HotspotFrac <= 0 || p.Cfg.HotspotDrift <= 0 {
+			t.Fatalf("pl point %s has no drifting hotspot", p.Label)
 		}
 	}
 	ing := ByID(exps, "ing")

@@ -1,0 +1,185 @@
+package planner_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"roadknn/internal/core"
+	"roadknn/internal/gen"
+	"roadknn/internal/planner"
+	"roadknn/internal/roadnet"
+	"roadknn/internal/workload"
+)
+
+func autoMk(workers int) func(*roadnet.Network) core.Engine {
+	return func(n *roadnet.Network) core.Engine {
+		return planner.NewWith(n, core.Options{
+			Workers: workers, Serving: true,
+			Planner: core.PlannerOptions{PlanEvery: 5},
+		})
+	}
+}
+
+// neighborsClose compares a planner result against a static engine's at
+// cross-engine tolerance: the two algorithms sum the same edge weights in
+// different orders, so distances may differ in the last float64 bits. A
+// rank mismatch is accepted only when the distances tie within tolerance.
+func neighborsClose(got, want []core.Neighbor) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		tol := 1e-6 * math.Max(1, math.Abs(want[i].Dist))
+		if math.Abs(got[i].Dist-want[i].Dist) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlannerOracleAgainstStaticEngines is the adaptive engine's
+// end-to-end correctness property, checked at every timestamp of a 60-ts
+// mixed-density churn run (40% of the queries in a dense drifting hotspot
+// over a uniform sparse base — the workload that forces group migrations):
+//
+//   - Two planners over the same stream — one serial, one with a 4-worker
+//     pool — publish byte-identical snapshots at every epoch, including
+//     across a mid-run checkpoint Rebuild. Placement decisions depend only
+//     on the replayed stream, never on scheduling.
+//   - Every query's k-NN set matches both static reference engines within
+//     cross-engine tolerance at every timestamp, no matter which child
+//     owns it or how often it migrated.
+//   - The run actually exercised the planner: groups migrated, and both
+//     children ended up owning queries.
+func TestPlannerOracleAgainstStaticEngines(t *testing.T) {
+	cfg := workload.Default().Scale(0.02) // 200 edges, 2000 objects, 100 queries
+	cfg.K = 8
+	cfg.Timestamps = 60
+	// A genuinely mixed workload: a uniform sparse base (the default
+	// QryDist is Gaussian, i.e. already clustered) with 40% of the queries
+	// in a tight drifting hotspot — above the planner's activation floor,
+	// below its (sticky) takeover bound, so the run stays split: the
+	// regime where both children own queries and migrations actually move
+	// work between live engines.
+	cfg.QryDist = gen.Uniform
+	cfg.HotspotFrac = 0.4
+	cfg.HotspotDrift = 0.04
+	cfg.Serving = true
+
+	auto, _ := workload.NewRunner(cfg, autoMk(1))
+	twin, _ := workload.NewRunner(cfg, autoMk(4))
+	imaRef, _ := workload.NewRunner(cfg, func(n *roadnet.Network) core.Engine {
+		return core.NewIMAWith(n, core.Options{Workers: 1, Serving: true})
+	})
+	gmaRef, _ := workload.NewRunner(cfg, func(n *roadnet.Network) core.Engine {
+		return core.NewGMAWith(n, core.Options{Workers: 1, Serving: true})
+	})
+	runners := []*workload.Runner{auto, twin, imaRef, gmaRef}
+	defer func() {
+		for _, r := range runners {
+			r.Engine().Close()
+		}
+	}()
+
+	for ts := 1; ts <= cfg.Timestamps; ts++ {
+		for _, r := range runners {
+			r.Engine().Step(r.GenerateStep())
+		}
+		if ts == 30 {
+			// Checkpoint-boundary canonicalization mid-run: the state-only
+			// re-plan plus child rebuilds must leave the two planners in
+			// lockstep too.
+			auto.Engine().(core.Rebuilder).Rebuild()
+			twin.Engine().(core.Rebuilder).Rebuild()
+		}
+		a := auto.Engine().Snapshot()
+		b := twin.Engine().Snapshot()
+		if !bytes.Equal(a.AppendBinary(nil), b.AppendBinary(nil)) {
+			t.Fatalf("ts %d: serial and 4-worker planners published different snapshots", ts)
+		}
+		for id := 0; id < cfg.NumQueries; id++ {
+			got := a.Result(core.QueryID(id))
+			if want := imaRef.Engine().Result(core.QueryID(id)); !neighborsClose(got, want) {
+				t.Fatalf("ts %d query %d: planner %v vs IMA reference %v", ts, id, got, want)
+			}
+			if want := gmaRef.Engine().Result(core.QueryID(id)); !neighborsClose(got, want) {
+				t.Fatalf("ts %d query %d: planner %v vs GMA reference %v", ts, id, got, want)
+			}
+		}
+	}
+
+	st := auto.Engine().(planner.StatsProvider).PlannerStats()
+	if st.Migrations == 0 {
+		t.Error("60 timestamps of drifting hotspot never migrated a group")
+	}
+	if st.QueriesGMA == 0 || st.QueriesIMA == 0 {
+		t.Errorf("planner did not split the workload: %d IMA / %d GMA queries", st.QueriesIMA, st.QueriesGMA)
+	}
+	if st.Replans == 0 || st.LastPlanTick == 0 {
+		t.Errorf("planner never re-planned: %+v", st)
+	}
+}
+
+// TestPlannerFollowerReplication runs the workload harness's in-process
+// log-shipping replication under the adaptive engine: a follower replica
+// tails the primary's WAL and replays every batch through its own planner.
+// The harness panics unless the follower's final snapshot is byte-identical
+// to the primary's — which it can only be if both planners made identical
+// migration decisions at identical ticks.
+func TestPlannerFollowerReplication(t *testing.T) {
+	cfg := workload.Default().Scale(0.01) // 100 edges, 1000 objects, 50 queries
+	cfg.K = 4
+	cfg.Timestamps = 20
+	cfg.HotspotFrac = 0.5
+	cfg.HotspotDrift = 0.05
+	cfg.Serving = true
+	cfg.WALFsync = "never"
+	cfg.Followers = 1
+
+	res := workload.Run(cfg, autoMk(1)) // panics on follower divergence
+	if res.PlannerMigrations == 0 {
+		t.Error("replicated AUTO run never migrated a group; the test exercised nothing")
+	}
+	if res.Followers != 1 {
+		t.Fatalf("run reported %d followers, want 1", res.Followers)
+	}
+}
+
+// TestPlannerRegisterUnregisterEpochs pins the planner's epoch discipline
+// to a static engine's: one bump per Register/Unregister/Step, served from
+// the planner's own merged publisher.
+func TestPlannerRegisterUnregisterEpochs(t *testing.T) {
+	cfg := workload.Default().Scale(0.004)
+	cfg.NumQueries = 0
+	net := workload.BuildNetwork(cfg)
+	p := planner.NewWith(net, core.Options{Workers: 1, Serving: true})
+	defer p.Close()
+
+	base := p.Snapshot().Epoch()
+	pos, ok := net.Snap(net.SI.Bounds().Min)
+	if !ok {
+		t.Fatal("no snap position")
+	}
+	p.Register(1, pos, 2)
+	if e := p.Snapshot().Epoch(); e != base+1 {
+		t.Fatalf("Register bumped epoch %d -> %d, want +1", base, e)
+	}
+	p.Step(core.Updates{})
+	if e := p.Snapshot().Epoch(); e != base+2 {
+		t.Fatalf("Step bumped epoch to %d, want %d", e, base+2)
+	}
+	if got := p.Queries(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Queries() = %v, want [1]", got)
+	}
+	p.Unregister(1)
+	if e := p.Snapshot().Epoch(); e != base+3 {
+		t.Fatalf("Unregister bumped epoch to %d, want %d", e, base+3)
+	}
+	if p.Snapshot().Len() != 0 {
+		t.Fatalf("snapshot still carries %d queries after Unregister", p.Snapshot().Len())
+	}
+	if p.Name() != "AUTO" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+}

@@ -106,6 +106,35 @@ func (b *broker) collect(since uint64) (deltas []*core.Delta, resync *roadknn.Sn
 	return deltas, nil, true
 }
 
+// collectSnaps is collect's row-level variant for /v1/stream: instead of
+// the raw deltas it returns the contiguous snapshot chain since+1..hi,
+// each snapshot carrying its own Delta — so a subscriber can be sent the
+// full current rows of exactly the queries that changed at each epoch.
+// The resync conditions are identical to collect's.
+func (b *broker) collectSnaps(since uint64) (snaps []*roadknn.Snapshot, resync *roadknn.Snapshot, newer bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.seen || b.hi <= since {
+		return nil, nil, false
+	}
+	cur := b.ring[b.hi%uint64(len(b.ring))]
+	if since+1 < b.lo {
+		b.resyncs.Add(1)
+		return nil, cur, true
+	}
+	snaps = make([]*roadknn.Snapshot, 0, b.hi-since)
+	for e := since + 1; e <= b.hi; e++ {
+		snap := b.ring[e%uint64(len(b.ring))]
+		if snap == nil || snap.Epoch() != e || snap.Delta() == nil {
+			b.resyncs.Add(1)
+			return nil, cur, true
+		}
+		snaps = append(snaps, snap)
+	}
+	b.deltasOut.Add(int64(len(snaps)))
+	return snaps, nil, true
+}
+
 // epoch returns the newest resident epoch (0 before the first publish).
 func (b *broker) epoch() uint64 {
 	b.mu.Lock()

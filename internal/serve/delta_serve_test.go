@@ -318,6 +318,76 @@ func TestDeltaStreamSSE(t *testing.T) {
 	}
 }
 
+// TestStreamRowsDeltaAware: with a delta-emitting engine, /v1/stream sends
+// one "rows" event per epoch carrying only the changed query rows, and
+// skips epochs in which nothing changed for the subscribed query — the
+// churn-proportional upgrade over the full-resend fallback.
+func TestStreamRowsDeltaAware(t *testing.T) {
+	s, hs := newDeltaTestServer(t, 8)
+	post(t, hs.URL+"/v1/updates", `{
+		"objects":[{"id":1,"edge":0,"frac":0.5},{"id":2,"edge":200,"frac":0.5}],
+		"queries":[{"id":3,"k":1,"edge":0,"frac":0.2},{"id":5,"k":1,"edge":200,"frac":0.2}]
+	}`)
+	s.Tick()
+
+	resp, err := http.Get(hs.URL + "/v1/stream?query=3")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	events := readStream(t, resp.Body)
+
+	open := nextStreamEvent(t, events)
+	if open.name != "resync" {
+		t.Fatalf("opening event %q, want resync", open.name)
+	}
+
+	// Epoch A: only query 3's neighborhood changes -> a rows event.
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":0,"frac":0.9}]}`)
+	snapA := s.Tick()
+	// Epoch B: only query 5's neighborhood changes -> frame skipped for
+	// this subscriber (verify the premise against the published delta).
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":2,"edge":200,"frac":0.9}]}`)
+	snapB := s.Tick()
+	for i := range snapB.Delta().Queries {
+		if snapB.Delta().Queries[i].ID == 3 {
+			t.Fatalf("test premise broken: epoch %d delta touches query 3", snapB.Epoch())
+		}
+	}
+	// Epoch C: query 3 again -> next rows event jumps over epoch B.
+	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":0,"frac":0.1}]}`)
+	snapC := s.Tick()
+
+	rowsA := nextStreamEvent(t, events)
+	if rowsA.name != "rows" || uint64(rowsA.data["epoch"].(float64)) != snapA.Epoch() {
+		t.Fatalf("first rows event %q at epoch %v, want rows at %d", rowsA.name, rowsA.data["epoch"], snapA.Epoch())
+	}
+	ch := rowsA.data["changed"].([]any)
+	if len(ch) != 1 || ch[0].(map[string]any)["id"].(float64) != 3 {
+		t.Fatalf("rows event changed set %v, want exactly query 3", rowsA.data)
+	}
+	if _, hasNb := ch[0].(map[string]any)["neighbors"]; !hasNb {
+		t.Fatalf("changed row carries no full neighbor list: %v", ch[0])
+	}
+	rowsC := nextStreamEvent(t, events)
+	if rowsC.name != "rows" || uint64(rowsC.data["epoch"].(float64)) != snapC.Epoch() {
+		t.Fatalf("second rows event %q at epoch %v, want rows at %d (epoch %d skipped)",
+			rowsC.name, rowsC.data["epoch"], snapC.Epoch(), snapB.Epoch())
+	}
+
+	// Ending the query surfaces as a "removed" id, not a changed row.
+	post(t, hs.URL+"/v1/updates", `{"queries":[{"id":3,"end":true}]}`)
+	s.Tick()
+	gone := nextStreamEvent(t, events)
+	if gone.name != "rows" {
+		t.Fatalf("removal event %q, want rows", gone.name)
+	}
+	rm := gone.data["removed"].([]any)
+	if len(rm) != 1 || rm[0].(float64) != 3 {
+		t.Fatalf("removal frame %v, want removed [3]", gone.data)
+	}
+}
+
 // TestDeltaStreamDisconnect: closing the client side of an SSE stream must
 // release the handler — streams_active (surfaced in /v1/stats) drains back
 // to zero, proving no goroutine is parked forever on a dead connection.

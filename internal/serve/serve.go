@@ -65,6 +65,7 @@ import (
 
 	"roadknn"
 	"roadknn/internal/core"
+	"roadknn/internal/planner"
 	"roadknn/internal/wal"
 )
 
@@ -1111,30 +1112,136 @@ func (s *Server) pollSnapshot(w http.ResponseWriter, r *http.Request) (*roadknn.
 	return s.waitNewer(r.Context(), since, wait), true
 }
 
-// handleStream pushes one server-sent event per published epoch until the
-// client disconnects.
+// waitStream advances a row-stream cursor at epoch since, waiting up to
+// wait for the broker to hold something newer — waitDelta's twin over
+// broker.collectSnaps, returning the snapshot chain instead of the raw
+// deltas.
+func (s *Server) waitStream(ctx context.Context, since uint64, wait time.Duration) ([]*roadknn.Snapshot, *roadknn.Snapshot) {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		if snaps, resync, newer := s.broker.collectSnaps(since); newer {
+			return snaps, resync
+		}
+		s.notifyMu.Lock()
+		ch := s.notify
+		s.notifyMu.Unlock()
+		// Re-check after grabbing the channel: a publish between the first
+		// check and the grab would otherwise be missed.
+		if snaps, resync, newer := s.broker.collectSnaps(since); newer {
+			return snaps, resync
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, nil
+		case <-s.stopc: // server closing: answer empty; client re-polls
+			return nil, nil
+		}
+	}
+}
+
+// streamRowsJSON is one epoch's /v1/stream frame: the full current results
+// of exactly the queries whose results changed at that epoch, plus the ids
+// of queries removed — churn-proportional like a delta, but self-contained
+// per query (no client-side delta application needed).
+type streamRowsJSON struct {
+	Epoch     uint64            `json:"epoch"`
+	Timestamp uint64            `json:"timestamp"`
+	Changed   []queryResultJSON `json:"changed,omitempty"`
+	Removed   []int64           `json:"removed,omitempty"`
+}
+
+// streamRows renders the row frame for one snapshot from its own delta,
+// restricted to the subscribed queries (nil = all).
+func streamRows(snap *roadknn.Snapshot, only map[roadknn.QueryID]struct{}) streamRowsJSON {
+	d := snap.Delta()
+	out := streamRowsJSON{Epoch: snap.Epoch(), Timestamp: snap.Timestamp()}
+	for i := range d.Queries {
+		qd := &d.Queries[i]
+		if only != nil {
+			if _, ok := only[qd.ID]; !ok {
+				continue
+			}
+		}
+		if qd.Removed {
+			out.Removed = append(out.Removed, int64(qd.ID))
+			continue
+		}
+		out.Changed = append(out.Changed, resultToJSON(qd.ID, snap.Result(qd.ID)))
+	}
+	return out
+}
+
+// handleStream pushes server-sent events until the client disconnects: an
+// initial "resync" event with the full result set (also sent whenever the
+// subscriber's cursor falls off the delta ring), then one "rows" event per
+// published epoch carrying only the changed query rows — full rows read
+// from that epoch's snapshot, with changedness taken from its delta, so
+// the wire volume is churn-proportional. ?query=ID restricts both event
+// kinds to one query; ?since=E resumes a cursor without the initial
+// resync. Engines without delta emission fall back to a full "resync" per
+// epoch (the pre-delta behavior).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	s.streamsActive.Add(1)
-	defer s.streamsActive.Add(-1)
-	var qid int64 = -1
+	var only map[roadknn.QueryID]struct{}
 	if qs := r.URL.Query().Get("query"); qs != "" {
 		v, err := strconv.ParseInt(qs, 10, 32)
 		if err != nil {
 			http.Error(w, "bad ?query=", http.StatusBadRequest)
 			return
 		}
-		qid = v
+		only = map[roadknn.QueryID]struct{}{roadknn.QueryID(v): {}}
 	}
-	last := uint64(0)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	s.streamsActive.Add(1)
+	defer s.streamsActive.Add(-1)
+	rc := http.NewResponseController(w)
+	emit := func(event string, payload any) bool {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		s.reads.Add(1)
+		// A subscriber that cannot absorb this frame within the send
+		// deadline is evicted: the write errors out, the connection closes,
+		// and the broker's ring memory stops being pinned on its behalf.
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.DeltaSendTimeout))
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		if ferr := rc.Flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			s.broker.evicted.Add(1)
+			return false
+		}
+		return true
+	}
+	var last uint64
+	if qs := r.URL.Query().Get("since"); qs != "" {
+		v, err := strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			http.Error(w, "bad ?since=", http.StatusBadRequest)
+			return
+		}
+		last = v
+	} else {
+		snap := s.eng.Snapshot()
+		if !emit("resync", snapshotToJSONFiltered(snap, only)) {
+			return
+		}
+		last = snap.Epoch()
+	}
+	strikes := 0
 	for {
-		snap := s.waitNewer(r.Context(), last, s.cfg.MaxWait)
+		snaps, resync := s.waitStream(r.Context(), last, s.cfg.MaxWait)
 		if r.Context().Err() != nil {
 			return
 		}
@@ -1143,29 +1250,39 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		default:
 		}
-		if snap.Epoch() <= last { // long-poll timeout: keep-alive comment
+		switch {
+		case resync != nil:
+			// A delta-emitting engine resyncing a connected subscriber over
+			// and over is a consumer lagging off the DeltaRing; after
+			// MaxResyncStrikes in a row it is evicted. An engine that never
+			// attaches deltas resyncs every epoch by design (the full-resend
+			// fallback), which must not count as lag.
+			if resync.Delta() != nil {
+				if strikes++; strikes >= s.cfg.MaxResyncStrikes {
+					s.broker.evicted.Add(1)
+					return
+				}
+			}
+			if !emit("resync", snapshotToJSONFiltered(resync, only)) {
+				return
+			}
+			last = resync.Epoch()
+		case len(snaps) > 0:
+			strikes = 0
+			for _, snap := range snaps {
+				frame := streamRows(snap, only)
+				if len(frame.Changed) == 0 && len(frame.Removed) == 0 {
+					continue // nothing changed for the subscribed queries
+				}
+				if !emit("rows", frame) {
+					return
+				}
+			}
+			last = snaps[len(snaps)-1].Epoch()
+		default: // long-poll timeout: keep-alive comment
 			fmt.Fprintf(w, ": keep-alive\n\n")
 			fl.Flush()
-			continue
 		}
-		last = snap.Epoch()
-		var payload any
-		if qid >= 0 {
-			payload = map[string]any{
-				"epoch":     snap.Epoch(),
-				"timestamp": snap.Timestamp(),
-				"result":    resultToJSON(roadknn.QueryID(qid), snap.Result(roadknn.QueryID(qid))),
-			}
-		} else {
-			payload = snapshotToJSON(snap)
-		}
-		data, err := json.Marshal(payload)
-		if err != nil {
-			return
-		}
-		s.reads.Add(1)
-		fmt.Fprintf(w, "data: %s\n\n", data)
-		fl.Flush()
 	}
 }
 
@@ -1374,6 +1491,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"resyncs":    s.broker.resyncs.Load(),
 			"evicted":    s.broker.evicted.Load(),
 		},
+	}
+	if sp, ok := s.eng.(planner.StatsProvider); ok {
+		// The adaptive engine's self-description: groups, placements,
+		// cumulative migrations and the cost model's latest per-group
+		// estimates (published atomically at each re-plan).
+		out["planner"] = sp.PlannerStats()
 	}
 	if w2 := s.cfg.WAL; w2 != nil {
 		s.batchMu.Lock()

@@ -178,6 +178,56 @@ func currentEpoch(t *testing.T, hs *httptest.Server) uint64 {
 	return uint64(snap["epoch"].(float64))
 }
 
+// streamEvent is one typed SSE frame read off /v1/stream.
+type streamEvent struct {
+	name string
+	data map[string]any
+}
+
+// readStream consumes /v1/stream frames into a channel of typed events.
+func readStream(t *testing.T, body interface{ Read([]byte) (int, error) }) chan streamEvent {
+	t.Helper()
+	events := make(chan streamEvent, 16)
+	go func() {
+		sc := bufio.NewScanner(body)
+		name := ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				var m map[string]any
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &m); err != nil {
+					return
+				}
+				events <- streamEvent{name: name, data: m}
+			}
+		}
+		close(events)
+	}()
+	return events
+}
+
+func nextStreamEvent(t *testing.T, events chan streamEvent) streamEvent {
+	t.Helper()
+	select {
+	case e, ok := <-events:
+		if !ok {
+			t.Fatal("stream closed early")
+		}
+		return e
+	case <-time.After(5 * time.Second):
+		t.Fatal("no stream event")
+		return streamEvent{}
+	}
+}
+
+// TestServeStreamDeliversEpochs covers the delta-less fallback of
+// /v1/stream: an engine without Options{Deltas} has no per-epoch change
+// sets, so the subscriber gets the full (filtered) snapshot as a "resync"
+// event at every epoch — the pre-delta behavior, minus any eviction
+// strikes.
 func TestServeStreamDeliversEpochs(t *testing.T) {
 	s, hs := newTestServer(t)
 	post(t, hs.URL+"/v1/updates", `{"objects":[{"id":1,"edge":0,"frac":0.5}],"queries":[{"id":3,"k":1,"edge":0,"frac":0.2}]}`)
@@ -188,44 +238,25 @@ func TestServeStreamDeliversEpochs(t *testing.T) {
 		t.Fatalf("stream: %v", err)
 	}
 	defer resp.Body.Close()
-
-	events := make(chan string, 8)
-	go func() {
-		sc := bufio.NewScanner(resp.Body)
-		for sc.Scan() {
-			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
-				events <- strings.TrimPrefix(line, "data: ")
-			}
-		}
-		close(events)
-	}()
+	events := readStream(t, resp.Body)
 
 	// The stream replays the current epoch immediately, then one event per
 	// tick.
-	readEvent := func() map[string]any {
-		select {
-		case e, ok := <-events:
-			if !ok {
-				t.Fatal("stream closed early")
-			}
-			var m map[string]any
-			if err := json.Unmarshal([]byte(e), &m); err != nil {
-				t.Fatalf("bad event %q: %v", e, err)
-			}
-			return m
-		case <-time.After(5 * time.Second):
-			t.Fatal("no stream event")
-			return nil
-		}
+	first := nextStreamEvent(t, events)
+	if first.name != "resync" {
+		t.Fatalf("opening event %q, want resync", first.name)
 	}
-	first := readEvent()
 	s.Tick()
-	second := readEvent()
-	if second["epoch"].(float64) <= first["epoch"].(float64) {
-		t.Fatalf("stream epochs not increasing: %v then %v", first, second)
+	second := nextStreamEvent(t, events)
+	if second.name != "resync" {
+		t.Fatalf("delta-less engine sent %q, want full-resend resync", second.name)
 	}
-	if second["result"].(map[string]any)["id"].(float64) != 3 {
-		t.Fatalf("stream carries wrong query: %v", second)
+	if second.data["epoch"].(float64) <= first.data["epoch"].(float64) {
+		t.Fatalf("stream epochs not increasing: %v then %v", first.data, second.data)
+	}
+	qs := second.data["queries"].([]any)
+	if len(qs) != 1 || qs[0].(map[string]any)["id"].(float64) != 3 {
+		t.Fatalf("stream carries wrong queries: %v", second.data)
 	}
 }
 

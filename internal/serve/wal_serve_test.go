@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"roadknn"
+	"roadknn/internal/planner"
 	"roadknn/internal/wal"
 )
 
@@ -363,6 +364,140 @@ func TestServeCrashRecoveryDeterministicAtEveryBoundary(t *testing.T) {
 			}
 			if got := snapBytes(s2); !bytes.Equal(got, refSnaps[ticks]) {
 				t.Fatalf("resumed run diverged from the uncrashed replica after crash at write %d", n)
+			}
+		})
+	}
+}
+
+// newAutoEngine builds the adaptive engine for the migration-boundary
+// crash test: PlanEvery 3 makes the in-step re-plans land exactly on the
+// CheckpointEvery-3 checkpoint boundaries, the adversarial alignment.
+func newAutoEngine() roadknn.Engine {
+	return roadknn.NewAutoWith(roadknn.GenerateNetwork(150, 3), roadknn.Options{
+		Workers: 1, Serving: true,
+		Planner: roadknn.PlannerOptions{PlanEvery: 3},
+	})
+}
+
+// autoScriptTick is the deterministic workload for the AUTO crash test:
+// six k=3 queries packed onto one edge (a group the cost model must hand
+// to GMA at the first re-plan) moving every tick, two sparse queries that
+// stay IMA, plus object churn, edge updates and the freelist-cycling
+// topology edit of the base script. Pure function of t.
+func autoScriptTick(s *Server, t int) {
+	ingest(s, func(b *Batcher) {
+		b.Object(roadknn.ObjectID(t%6), roadknn.Position{Edge: roadknn.EdgeID((t * 13) % 100), Frac: float64(t%9) / 9})
+		b.Object(roadknn.ObjectID(100+t), roadknn.Position{Edge: roadknn.EdgeID((t * 7) % 100), Frac: 0.5})
+		if t%3 == 0 && t > 3 {
+			b.DeleteObject(roadknn.ObjectID(100 + t - 3))
+		}
+		if t == 1 {
+			for i := 1; i <= 6; i++ { // the dense group: one shared edge
+				b.Query(roadknn.QueryID(i), 3, roadknn.Position{Edge: 5, Frac: float64(i) / 8})
+			}
+			b.Query(10, 2, roadknn.Position{Edge: 60, Frac: 0.3})
+			b.Query(11, 2, roadknn.Position{Edge: 90, Frac: 0.7})
+		} else {
+			for i := 1; i <= 6; i++ { // dense and agile: moves every tick
+				b.Query(roadknn.QueryID(i), 0, roadknn.Position{Edge: 5, Frac: float64((t*7+i*3)%9) / 9})
+			}
+			if t%2 == 0 {
+				b.Query(10, 0, roadknn.Position{Edge: 60, Frac: float64(t%5) / 5})
+			}
+		}
+		if t%4 == 1 {
+			b.Edge(roadknn.EdgeID(t%30), 1.5+float64(t)/10)
+		}
+		if t >= 2 {
+			if t%2 == 0 {
+				b.RemoveEdge(97)
+			} else {
+				b.AddEdge(roadknn.NodeID((t*3)%40), roadknn.NodeID((t*3+7)%40), 1.2+float64(t%4))
+			}
+		}
+	})
+	s.Tick()
+}
+
+// TestServeCrashRecoveryAutoAtMigrationBoundary runs the every-write-
+// boundary fault injection of the test above with the adaptive planner as
+// the engine, on a workload that forces a group migration exactly at the
+// checkpoint boundary (PlanEvery == CheckpointEvery == 3). A replica
+// recovered from any torn prefix must re-derive the same placements —
+// including groups that migrated IMA->GMA just before the crash — and
+// publish byte-identical snapshots.
+func TestServeCrashRecoveryAutoAtMigrationBoundary(t *testing.T) {
+	const ticks = 8
+	refMem := wal.NewMemFS()
+	refFFS := wal.NewFaultFS(refMem)
+	refEng := newAutoEngine()
+	refLog, refRec, err := wal.Open(refFFS, wal.Options{Retries: 2, Sleep: func(time.Duration) {}})
+	if err != nil {
+		refEng.Close()
+		t.Fatalf("wal open: %v", err)
+	}
+	ref := New(refEng, Config{WAL: refLog, CheckpointEvery: 3})
+	if _, err := ref.Recover(refRec); err != nil {
+		t.Fatal(err)
+	}
+	refSnaps := make([][]byte, ticks+1)
+	refSnaps[0] = snapBytes(ref)
+	for i := 1; i <= ticks; i++ {
+		autoScriptTick(ref, i)
+		refSnaps[i] = snapBytes(ref)
+	}
+	// The premise: the reference run really migrated the dense group.
+	st := ref.eng.(planner.StatsProvider).PlannerStats()
+	if st.Migrations == 0 || st.QueriesGMA == 0 {
+		t.Fatalf("reference run never migrated to GMA: %+v", st)
+	}
+	totalWrites := refFFS.Writes()
+	ref.Close()
+
+	for n := 0; n < totalWrites; n++ {
+		n := n
+		t.Run(fmt.Sprintf("crash-at-write-%d", n), func(t *testing.T) {
+			mem := wal.NewMemFS()
+			ffs := wal.NewFaultFS(mem)
+			ffs.CrashAfterWrites(n, n%5)
+			eng1 := newAutoEngine()
+			if l1, rec1, err := wal.Open(ffs, wal.Options{Retries: 2, Sleep: func(time.Duration) {}}); err == nil {
+				s := New(eng1, Config{WAL: l1, CheckpointEvery: 3})
+				if _, err := s.Recover(rec1); err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i <= ticks; i++ {
+					autoScriptTick(s, i)
+				}
+				s.Close()
+			} else {
+				eng1.Close()
+			}
+			if !ffs.Crashed() {
+				t.Fatalf("crash at write %d never fired", n)
+			}
+
+			l, rec2, err := wal.Open(mem, wal.Options{})
+			if err != nil {
+				t.Fatalf("open after crash: %v", err)
+			}
+			s2 := New(newAutoEngine(), Config{WAL: l, CheckpointEvery: 3})
+			defer s2.Close()
+			if _, err := s2.Recover(rec2); err != nil {
+				t.Fatalf("recover after crash at write %d: %v", n, err)
+			}
+			stamp := int(rec2.LastSeq())
+			if stamp > ticks {
+				t.Fatalf("recovered stamp %d past the script", stamp)
+			}
+			if got := snapBytes(s2); !bytes.Equal(got, refSnaps[stamp]) {
+				t.Fatalf("AUTO recovered snapshot at stamp %d differs from the uncrashed replica", stamp)
+			}
+			for i := stamp + 1; i <= ticks; i++ {
+				autoScriptTick(s2, i)
+			}
+			if got := snapBytes(s2); !bytes.Equal(got, refSnaps[ticks]) {
+				t.Fatalf("AUTO resumed run diverged after crash at write %d", n)
 			}
 		})
 	}

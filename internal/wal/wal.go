@@ -31,6 +31,14 @@ const (
 	// SyncNever leaves flushing to the OS: fastest, survives process
 	// crashes (page cache persists) but not power cuts.
 	SyncNever
+	// SyncInterval fsyncs on a background timer (Options.SyncEvery) instead
+	// of at tick boundaries: appends never pay an fsync on the step path,
+	// and a power cut loses at most the ticks appended within one interval
+	// window (a process crash still loses nothing — the page cache
+	// persists). Clean shutdown, segment rotation and checkpoints remain
+	// fully synchronous, so the bounded-loss window applies to hard crashes
+	// only.
+	SyncInterval
 )
 
 // ParseSyncPolicy maps the -fsync flag values to a policy.
@@ -43,7 +51,22 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	case "never":
 		return SyncNever, nil
 	}
-	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, tick or never)", s)
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, tick, never or interval=<duration>)", s)
+}
+
+// ParseSyncSpec parses the full -fsync flag syntax: the ParseSyncPolicy
+// names plus "interval=<duration>" (e.g. "interval=5ms"), which selects
+// SyncInterval with the given timer period.
+func ParseSyncSpec(s string) (SyncPolicy, time.Duration, error) {
+	if rest, ok := strings.CutPrefix(s, "interval="); ok {
+		d, err := time.ParseDuration(rest)
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("wal: bad fsync interval %q (want a positive duration, e.g. interval=5ms)", rest)
+		}
+		return SyncInterval, d, nil
+	}
+	p, err := ParseSyncPolicy(s)
+	return p, 0, err
 }
 
 func (p SyncPolicy) String() string {
@@ -52,6 +75,8 @@ func (p SyncPolicy) String() string {
 		return "always"
 	case SyncNever:
 		return "never"
+	case SyncInterval:
+		return "interval"
 	default:
 		return "tick"
 	}
@@ -61,6 +86,9 @@ func (p SyncPolicy) String() string {
 type Options struct {
 	// Sync is the fsync policy (default SyncTick).
 	Sync SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval
+	// (default 5ms); it bounds the post-crash data-loss window.
+	SyncEvery time.Duration
 	// Retries is how many times a failed append is retried with capped
 	// exponential backoff before the log declares itself failed
 	// (default 4).
@@ -82,6 +110,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Retries == 0 {
 		o.Retries = 4
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 5 * time.Millisecond
 	}
 	if o.RetryBase <= 0 {
 		o.RetryBase = 5 * time.Millisecond
@@ -114,7 +145,12 @@ type Log struct {
 	ckEpoch uint64
 	ckStamp uint64
 	err     error
+	dirty   bool          // unsynced appends pending (SyncInterval bookkeeping)
 	appendc chan struct{} // closed+replaced after every successful append
+
+	flushStop chan struct{} // SyncInterval timer lifecycle
+	flushDone chan struct{}
+	flushOnce sync.Once
 }
 
 func segmentName(startSeq uint64) string { return fmt.Sprintf("wal-%016d.log", startSeq) }
@@ -178,7 +214,46 @@ func Open(fs FS, opts Options) (*Log, *Recovery, error) {
 		}
 		l.cur, l.curName, l.curSize = f, name, rec.lastSegSize
 	}
+	if opts.Sync == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
 	return l, rec, nil
+}
+
+// flushLoop is the SyncInterval background fsync: every SyncEvery it
+// syncs the current segment if appends landed since the last flush. An
+// fsync failure fails the log exactly as a synchronous one would.
+func (l *Log) flushLoop() {
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	defer close(l.flushDone)
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.err == nil && l.cur != nil && l.dirty {
+				l.dirty = false
+				if serr := l.cur.Sync(); serr != nil {
+					l.err = fmt.Errorf("wal: interval fsync failed: %w", serr)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// stopFlusher terminates the SyncInterval timer (idempotent; no-op for
+// other policies). Callers must not hold l.mu.
+func (l *Log) stopFlusher() {
+	if l.flushStop == nil {
+		return
+	}
+	l.flushOnce.Do(func() { close(l.flushStop) })
+	<-l.flushDone
 }
 
 // startSegment creates a fresh segment (with header) and makes it current.
@@ -204,6 +279,12 @@ func (l *Log) startSegment(startSeq uint64) error {
 		}
 	}
 	if l.cur != nil {
+		if l.opts.Sync == SyncInterval && l.dirty {
+			// Seal the rotated-away segment so the bounded-loss window never
+			// spans a file the timer can no longer reach.
+			l.cur.Sync()
+			l.dirty = false
+		}
 		l.cur.Close()
 	}
 	l.cur, l.curName, l.curSize = f, name, int64(len(hdr))
@@ -249,6 +330,9 @@ func (l *Log) append(rec []byte, syncNow bool) error {
 			l.err = fmt.Errorf("wal: fsync failed: %w", serr)
 			return l.err
 		}
+		l.dirty = false
+	} else if l.opts.Sync == SyncInterval {
+		l.dirty = true
 	}
 	return nil
 }
@@ -279,7 +363,8 @@ func (l *Log) AppendBatch(seq uint64, u core.Updates) error {
 func (l *Log) AppendTick(epoch, stamp uint64, snapCRC uint32) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.append(encodeTick(epoch, stamp, snapCRC), l.opts.Sync != SyncNever); err != nil {
+	syncNow := l.opts.Sync == SyncTick || l.opts.Sync == SyncAlways
+	if err := l.append(encodeTick(epoch, stamp, snapCRC), syncNow); err != nil {
 		return err
 	}
 	l.notifyAppend()
@@ -292,7 +377,8 @@ func (l *Log) AppendTick(epoch, stamp uint64, snapCRC uint32) error {
 func (l *Log) AppendPending(u core.Updates) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.append(encodePending(u), l.opts.Sync != SyncNever)
+	// Under SyncInterval the clean-shutdown Close fsync covers the record.
+	return l.append(encodePending(u), l.opts.Sync == SyncTick || l.opts.Sync == SyncAlways)
 }
 
 // WriteCheckpoint atomically persists c as a checkpoint sidecar, rotates
@@ -401,8 +487,12 @@ func (l *Log) prune() error {
 	return firstErr
 }
 
-// Close flushes and closes the current segment.
+// Close flushes and closes the current segment. Under SyncInterval the
+// background timer is stopped and a final fsync issued, so a clean
+// shutdown never loses appended data — the bounded-loss window exists
+// only for hard crashes.
 func (l *Log) Close() error {
+	l.stopFlusher()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.cur == nil {

@@ -7,16 +7,20 @@ package workload
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"roadknn/internal/core"
 	"roadknn/internal/gen"
+	"roadknn/internal/geom"
 	"roadknn/internal/graph"
+	"roadknn/internal/planner"
 	"roadknn/internal/roadnet"
 	"roadknn/internal/serve"
 	"roadknn/internal/wal"
@@ -58,9 +62,24 @@ type Config struct {
 	ObjSpeed    float64 // v_obj: distance per move, in avg edge lengths
 	QryAgility  float64 // f_qry
 	QrySpeed    float64 // v_qry
-	Timestamps  int
-	Movement    Movement
-	Oldenburg   bool // use the Oldenburg-like network (Figure 19)
+	// HotspotFrac places that fraction of the queries in one dense agile
+	// cluster (a Gaussian blob, HotspotRadius wide) while the rest follow
+	// QryDist — the mixed-density workload of the adaptive-planner sweep:
+	// the cluster is GMA territory, the sparse remainder IMA territory.
+	// Hotspot queries re-snap around the cluster center every timestamp.
+	// RandomWalk movement only.
+	HotspotFrac float64
+	// HotspotDrift moves the cluster center that fraction of the workspace
+	// diagonal per timestamp (bouncing at the bounds), dragging the dense
+	// group across spatial cells so the planner must migrate it between
+	// engines mid-run. 0 keeps the cluster stationary.
+	HotspotDrift float64
+	// HotspotRadius is the cluster's Gaussian sigma as a fraction of the
+	// workspace diagonal; 0 means the default 0.02.
+	HotspotRadius float64
+	Timestamps    int
+	Movement      Movement
+	Oldenburg     bool // use the Oldenburg-like network (Figure 19)
 	// Workers is the engine worker-pool size for the run (0 = GOMAXPROCS,
 	// 1 = serial); it parameterizes the scalability sweeps.
 	Workers int
@@ -76,7 +95,8 @@ type Config struct {
 	// write-ahead log in a temporary directory inside the timed region —
 	// exactly the durable ingestion path of the serving runtime — so the
 	// run measures the crash-safety overhead. Values are fsync policies:
-	// "always" (fsync per record), "tick" (per timestamp) or "never".
+	// "always" (fsync per record), "tick" (per timestamp), "never" or
+	// "interval=<duration>" (background timer, bounded-loss window).
 	WALFsync string
 	// Deltas enables the engine's per-epoch delta emission (implies
 	// Serving) and makes the run record the wire volume of both read
@@ -148,7 +168,13 @@ type Result struct {
 	Timestamps     int
 	TotalSeconds   float64 // total Step time
 	AvgStepSeconds float64 // mean Step time per timestamp
-	AvgSizeBytes   int     // mean SizeBytes sampled after each Step
+	// P50StepSeconds / P99StepSeconds are per-timestamp Step latency
+	// percentiles (nearest-rank over the run's per-step samples): the tail
+	// behavior the mean hides — re-plan ticks, checkpoint rebuilds and GC
+	// pauses all land here.
+	P50StepSeconds float64
+	P99StepSeconds float64
+	AvgSizeBytes   int // mean SizeBytes sampled after each Step
 	MaxSizeBytes   int
 	InitialSeconds float64 // initial result computation for all queries
 	// AvgStepAllocs / AvgStepBytes are the mean heap allocations (count and
@@ -185,6 +211,9 @@ type Result struct {
 	// (0 when the run had no followers).
 	Followers int
 	ReplLagMs float64
+	// PlannerMigrations counts the adaptive engine's group migrations over
+	// the run (0 for static engines).
+	PlannerMigrations uint64
 }
 
 // BuildNetwork constructs the configured network.
@@ -212,6 +241,14 @@ type Runner struct {
 
 	objSim *gen.Brinkhoff // Brinkhoff movement only
 	qrySim *gen.Brinkhoff
+
+	// Hotspot cluster state (Config.HotspotFrac > 0): queries [0, hotN)
+	// re-snap around the drifting center every timestamp.
+	hotN      int
+	hotCenter geom.Point
+	hotDir    geom.Point // unit drift direction, reflected at the bounds
+	hotRadius float64
+	hotDrift  float64 // center travel per timestamp, workspace units
 }
 
 // NewRunner builds the network, places objects and queries, and registers
@@ -243,6 +280,27 @@ func NewRunner(cfg Config, makeEngine func(*roadnet.Network) core.Engine) (*Runn
 			net.AddObject(roadnet.ObjectID(i), pos)
 		}
 		r.qPos = gen.Place(net, cfg.NumQueries, cfg.QryDist, cfg.QrySigma, rng)
+		if cfg.HotspotFrac > 0 {
+			b := net.SI.Bounds()
+			diag := math.Hypot(b.Max.X-b.Min.X, b.Max.Y-b.Min.Y)
+			r.hotN = int(cfg.HotspotFrac * float64(cfg.NumQueries))
+			r.hotRadius = 0.02 * diag
+			if cfg.HotspotRadius > 0 {
+				r.hotRadius = cfg.HotspotRadius * diag
+			}
+			r.hotDrift = cfg.HotspotDrift * diag
+			r.hotCenter = geom.Point{
+				X: b.Min.X + (0.25+0.5*rng.Float64())*(b.Max.X-b.Min.X),
+				Y: b.Min.Y + (0.25+0.5*rng.Float64())*(b.Max.Y-b.Min.Y),
+			}
+			ang := 2 * math.Pi * rng.Float64()
+			r.hotDir = geom.Point{X: math.Cos(ang), Y: math.Sin(ang)}
+			for i := 0; i < r.hotN; i++ {
+				if pos, ok := r.hotSnap(); ok {
+					r.qPos[i] = pos
+				}
+			}
+		}
 	}
 
 	res := Result{Engine: r.engine.Name()}
@@ -256,6 +314,35 @@ func NewRunner(cfg Config, makeEngine func(*roadnet.Network) core.Engine) (*Runn
 
 // Engine returns the driven engine.
 func (r *Runner) Engine() core.Engine { return r.engine }
+
+// hotSnap draws one position around the hotspot center.
+func (r *Runner) hotSnap() (roadnet.Position, bool) {
+	return r.net.Snap(geom.Point{
+		X: r.hotCenter.X + r.rng.NormFloat64()*r.hotRadius,
+		Y: r.hotCenter.Y + r.rng.NormFloat64()*r.hotRadius,
+	})
+}
+
+// driftHotspot advances the cluster center one timestamp, reflecting the
+// direction at the workspace bounds.
+func (r *Runner) driftHotspot() {
+	if r.hotDrift <= 0 {
+		return
+	}
+	b := r.net.SI.Bounds()
+	r.hotCenter.X += r.hotDir.X * r.hotDrift
+	r.hotCenter.Y += r.hotDir.Y * r.hotDrift
+	if r.hotCenter.X < b.Min.X {
+		r.hotCenter.X, r.hotDir.X = 2*b.Min.X-r.hotCenter.X, -r.hotDir.X
+	} else if r.hotCenter.X > b.Max.X {
+		r.hotCenter.X, r.hotDir.X = 2*b.Max.X-r.hotCenter.X, -r.hotDir.X
+	}
+	if r.hotCenter.Y < b.Min.Y {
+		r.hotCenter.Y, r.hotDir.Y = 2*b.Min.Y-r.hotCenter.Y, -r.hotDir.Y
+	} else if r.hotCenter.Y > b.Max.Y {
+		r.hotCenter.Y, r.hotDir.Y = 2*b.Max.Y-r.hotCenter.Y, -r.hotDir.Y
+	}
+}
 
 // GenerateStep builds the update batch for one timestamp.
 func (r *Runner) GenerateStep() core.Updates {
@@ -287,7 +374,20 @@ func (r *Runner) GenerateStep() core.Updates {
 			np := r.net.RandomWalk(old, cfg.ObjSpeed*r.avgLen, 0, r.rng)
 			u.Objects = append(u.Objects, core.ObjectUpdate{ID: id, Old: old, New: np})
 		}
-		for i := range r.qPos {
+		// Hotspot queries re-snap around the (possibly drifting) cluster
+		// center every timestamp, before the agility-gated walkers.
+		if r.hotN > 0 {
+			r.driftHotspot()
+			for i := 0; i < r.hotN; i++ {
+				np, ok := r.hotSnap()
+				if !ok {
+					continue
+				}
+				r.qPos[i] = np
+				u.Queries = append(u.Queries, core.QueryUpdate{ID: core.QueryID(i), New: np})
+			}
+		}
+		for i := r.hotN; i < len(r.qPos); i++ {
 			if r.rng.Float64() >= cfg.QryAgility {
 				continue
 			}
@@ -393,7 +493,7 @@ func (r *Runner) Run() Result {
 	var wlog *wal.Log
 	var walDir string
 	if r.cfg.WALFsync != "" {
-		pol, err := wal.ParseSyncPolicy(r.cfg.WALFsync)
+		pol, every, err := wal.ParseSyncSpec(r.cfg.WALFsync)
 		if err != nil {
 			panic("workload: " + err.Error())
 		}
@@ -402,7 +502,7 @@ func (r *Runner) Run() Result {
 			panic("workload: " + err.Error())
 		}
 		defer os.RemoveAll(walDir)
-		wlog, _, err = wal.OpenDir(walDir, wal.Options{Sync: pol})
+		wlog, _, err = wal.OpenDir(walDir, wal.Options{Sync: pol, SyncEvery: every})
 		if err != nil {
 			panic("workload: " + err.Error())
 		}
@@ -515,6 +615,7 @@ func (r *Runner) Run() Result {
 	var sizeSum int
 	var allocs, allocBytes uint64
 	var msBefore, msAfter runtime.MemStats
+	stepSecs := make([]float64, 0, r.cfg.Timestamps)
 	var ingestBytes int64
 	var ingestSeconds float64
 	var deltaBytes, snapBytes, deltaEpochs int64
@@ -555,7 +656,9 @@ func (r *Runner) Run() Result {
 				panic("workload: wal tick: " + err.Error())
 			}
 		}
-		res.TotalSeconds += time.Since(start).Seconds()
+		stepSec := time.Since(start).Seconds()
+		res.TotalSeconds += stepSec
+		stepSecs = append(stepSecs, stepSec)
 		if readers == 0 {
 			runtime.ReadMemStats(&msAfter)
 			allocs += msAfter.Mallocs - msBefore.Mallocs
@@ -636,7 +739,27 @@ func (r *Runner) Run() Result {
 		res.AvgStepAllocs = float64(allocs) / float64(res.Timestamps)
 		res.AvgStepBytes = float64(allocBytes) / float64(res.Timestamps)
 	}
+	if len(stepSecs) > 0 {
+		slices.Sort(stepSecs)
+		res.P50StepSeconds = percentile(stepSecs, 0.50)
+		res.P99StepSeconds = percentile(stepSecs, 0.99)
+	}
+	if sp, ok := r.engine.(planner.StatsProvider); ok {
+		res.PlannerMigrations = sp.PlannerStats().Migrations
+	}
 	return res
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // readerSink defeats dead-code elimination of the reader loops.

@@ -53,6 +53,7 @@ import (
 	"roadknn/internal/gen"
 	"roadknn/internal/geom"
 	"roadknn/internal/graph"
+	"roadknn/internal/planner"
 	"roadknn/internal/roadnet"
 )
 
@@ -108,6 +109,15 @@ type (
 	// Options configures engine construction. The zero value selects the
 	// defaults (worker pool sized to runtime.GOMAXPROCS).
 	Options = core.Options
+	// PlannerOptions configures the adaptive AUTO engine (Options.Planner):
+	// re-plan cadence, spatial grouping depth and migration hysteresis.
+	PlannerOptions = core.PlannerOptions
+	// PlannerStats is the adaptive engine's self-description: group count,
+	// per-engine placements, cumulative migrations and the cost model's
+	// latest per-group estimates. Retrieved via the planner.StatsProvider
+	// interface (engines returned by NewAuto implement it) and served under
+	// /v1/stats by internal/serve.
+	PlannerStats = planner.Stats
 )
 
 // Topology update operations and sentinels.
@@ -148,6 +158,20 @@ func NewIMAWith(net *Network, opts Options) Engine { return core.NewIMAWith(net,
 // pool of Options.Workers goroutines (serial when 1), producing results
 // identical to serial execution.
 func NewGMAWith(net *Network, opts Options) Engine { return core.NewGMAWith(net, opts) }
+
+// NewAuto returns the adaptive engine ("AUTO") over net with default
+// options: an IMA and a GMA child behind one merged publisher, with
+// queries partitioned into spatial groups and each group routed online to
+// whichever algorithm the paper's §6 crossover predicts is cheaper.
+// Placement decisions are a deterministic function of the replayed update
+// stream, so crash recovery and follower replication stay byte-identical
+// under AUTO exactly as under a static engine.
+func NewAuto(net *Network) Engine { return planner.New(net) }
+
+// NewAutoWith returns the adaptive engine configured by opts; see
+// Options.Planner for the re-plan cadence, grouping depth and migration
+// hysteresis knobs.
+func NewAutoWith(net *Network, opts Options) Engine { return planner.NewWith(net, opts) }
 
 // GenerateNetwork produces a synthetic road network with approximately the
 // given number of edges (San-Francisco-like statistics: planar, degree 3-4
